@@ -1,0 +1,75 @@
+"""Ablation — HLS design knobs: switch threshold and line-12 fallback.
+
+* **Switch threshold**: too small forces frequent off-preference
+  execution (observation overhead); too large starves the matrix of
+  fresh samples for the non-preferred processor.  The default (10)
+  sits on the flat part of the curve.
+* **Strict lookahead**: dropping Alg. 1's final-line fallback (so a
+  worker may idle with a non-empty queue) measurably hurts hybrid
+  throughput when processor speeds differ — the justification for our
+  reading of line 12 (see scheduler docs).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+import pytest
+
+from common import gbps, run_saber
+from repro.core.engine import SaberConfig, SaberEngine
+from repro.core.scheduler import HlsScheduler, ThroughputMatrix
+from repro.workloads.synthetic import select_query
+
+THRESHOLDS = [1, 2, 5, 10, 50, 1000]
+
+
+def run_threshold_sweep():
+    rows = []
+    for threshold in THRESHOLDS:
+        report = run_saber(
+            [(select_query(32), None)],
+            tasks_per_query=150,
+            execute_data=False,
+            switch_threshold=threshold,
+        )
+        rows.append((threshold, report.throughput_bytes))
+    return rows
+
+
+def run_strict_comparison():
+    results = {}
+    for label, strict in (("line-12 fallback", False), ("strict lookahead", True)):
+        engine = SaberEngine(
+            SaberConfig(execute_data=False, collect_output=False)
+        )
+        engine.scheduler = HlsScheduler(
+            ThroughputMatrix(refresh_seconds=1e-3), strict_lookahead=strict
+        )
+        engine.add_query(select_query(64))
+        report = engine.run(tasks_per_query=150)
+        results[label] = report.throughput_bytes
+    return results
+
+
+def test_switch_threshold_sweep(benchmark, paper_table):
+    rows = benchmark.pedantic(run_threshold_sweep, rounds=1, iterations=1)
+    paper_table(
+        "Ablation — HLS switch threshold (SELECT32 hybrid, GB/s)",
+        ["threshold", "throughput"],
+        [(t, gbps(v)) for t, v in rows],
+    )
+    by_threshold = dict(rows)
+    # The default threshold is within 15% of the best setting.
+    assert by_threshold[10] > 0.85 * max(v for __, v in rows)
+
+
+def test_strict_lookahead_costs_throughput(benchmark, paper_table):
+    results = benchmark.pedantic(run_strict_comparison, rounds=1, iterations=1)
+    paper_table(
+        "Ablation — Alg. 1 line-12 reading (SELECT64 hybrid, GB/s)",
+        ["reading", "throughput"],
+        [(k, gbps(v)) for k, v in results.items()],
+    )
+    assert results["line-12 fallback"] >= results["strict lookahead"]

@@ -1,0 +1,69 @@
+"""Fig. 7 — application benchmark: SABER vs. the Esper-like baseline.
+
+Paper shape: SABER reaches hundreds of MB/s to network saturation
+(1,150 MB/s bars behind a 10 GbE ingest link) across CM1–LRB4, while
+Esper stays two orders of magnitude lower; SG3 is SABER's slowest query
+(98 MB/s).  The per-query CPU/GPGPU contribution split is reported like
+the stacked bars.
+"""
+
+import pytest
+
+from common import hybrid_split, mbps, run_saber
+from repro.baselines.esperlike import EsperLikeEngine
+from repro.workloads.queries import APPLICATION_QUERIES, build
+
+NETWORK = 1.25e9  # 10 GbE
+
+
+def run_experiment():
+    rows = []
+    for name in APPLICATION_QUERIES:
+        query, sources = build(name, seed=11)
+        report = run_saber(
+            [(query, sources)],
+            tasks_per_query=24,
+            task_size_bytes=128 << 10,
+            ingest_bandwidth=NETWORK,
+        )
+        esper_query, esper_sources = build(name, seed=11)
+        esper = EsperLikeEngine().run(
+            esper_query, esper_sources, total_tuples=20_000
+        )
+        rows.append(
+            {
+                "query": name,
+                "saber": report.query_throughput(name),
+                "esper": esper.throughput_bytes,
+                "split": hybrid_split(report),
+            }
+        )
+    return rows
+
+
+def test_fig07_applications(benchmark, paper_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 7 — application queries: SABER vs Esper-like (MB/s)",
+        ["query", "SABER", "Esper-like", "speed-up", "CPU/GPGPU split"],
+        [
+            (
+                r["query"],
+                mbps(r["saber"]),
+                f"{r['esper'] / 1e6:.1f}",
+                f"{r['saber'] / r['esper']:.0f}x",
+                r["split"],
+            )
+            for r in rows
+        ],
+    )
+    by_name = {r["query"]: r for r in rows}
+    # SABER beats the Esper-like baseline by >= one order of magnitude on
+    # every query and approaching two orders on the cheap ones.
+    assert all(r["saber"] > 10 * r["esper"] for r in rows)
+    cheap = [by_name[n] for n in ("SG1", "LRB1")]
+    assert all(r["saber"] > 50 * r["esper"] for r in cheap)
+    # Every application query can saturate a large share of the 10 GbE
+    # ingest link (our cost model lacks the per-result materialisation
+    # costs that throttle SG2/SG3/LRB2 in the paper — see EXPERIMENTS.md).
+    assert all(r["saber"] > 0.5 * NETWORK for r in rows)

@@ -1,0 +1,91 @@
+"""Fig. 9 — SABER vs. Spark-Streaming-like on CM1, CM2, SG1.
+
+The paper changes the queries to 500 ms tumbling windows (Spark cannot
+express count-based or fine-slide windows) and reports SABER saturating
+the 10 GbE link on CM1/CM2 and a ≥6× advantage on SG1, where Spark is
+limited by its per-micro-batch scheduling overhead.
+"""
+
+import pytest
+
+from common import run_saber
+from repro.baselines.sparklike import SparkLikeEngine
+from repro.core.query import Query
+from repro.operators.aggregate_functions import AggregateSpec
+from repro.operators.aggregation import Aggregation
+from repro.operators.compose import FilteredWindows
+from repro.operators.groupby import GroupedAggregation
+from repro.relational.expressions import col
+from repro.windows.definition import WindowDefinition
+from repro.workloads.cluster import ClusterMonitoringSource, TASK_EVENTS_SCHEMA
+from repro.workloads.smartgrid import SMART_GRID_SCHEMA, SmartGridSource
+
+NETWORK = 1.25e9
+#: 500 ms tumbling windows at millisecond timestamps.
+TUMBLING = WindowDefinition.time(500, 500)
+
+
+def tumbling_queries():
+    cm1 = Query(
+        "CM1",
+        GroupedAggregation(
+            TASK_EVENTS_SCHEMA, ["category"], [AggregateSpec("sum", "cpu")]
+        ),
+        [TUMBLING],
+    )
+    cm2 = Query(
+        "CM2",
+        FilteredWindows(
+            col("eventType").eq(1),
+            GroupedAggregation(
+                TASK_EVENTS_SCHEMA, ["jobId"], [AggregateSpec("avg", "cpu")]
+            ),
+        ),
+        [TUMBLING],
+    )
+    sg1 = Query(
+        "SG1",
+        Aggregation(SMART_GRID_SCHEMA, [AggregateSpec("avg", "value")]),
+        [TUMBLING],
+    )
+    return [
+        (cm1, [ClusterMonitoringSource(seed=3, tuples_per_second=4096)]),
+        (cm2, [ClusterMonitoringSource(seed=3, tuples_per_second=4096)]),
+        (sg1, [SmartGridSource(seed=3, tuples_per_second=4096)]),
+    ]
+
+
+def run_experiment():
+    spark = SparkLikeEngine()
+    rows = []
+    for query, sources in tumbling_queries():
+        tuple_size = sources[0].schema.tuple_size
+        report = run_saber(
+            [(query, sources)],
+            tasks_per_query=24,
+            task_size_bytes=256 << 10,
+            ingest_bandwidth=NETWORK,
+        )
+        saber_tps = report.query_throughput(query.name) / tuple_size
+        # Spark's 500 ms micro-batch carries 0.5 s of offered stream.
+        spark_tps = spark.tumbling_throughput(batch_tuples=1e9, batch_seconds=0.5)
+        rows.append((query.name, saber_tps, spark_tps))
+    return rows
+
+
+def test_fig09_spark_comparison(benchmark, paper_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 9 — SABER vs Spark-like, 500 ms tumbling (M tuples/s)",
+        ["query", "SABER", "Spark-like", "ratio"],
+        [
+            (n, f"{s / 1e6:.1f}", f"{p / 1e6:.1f}", f"{s / p:.1f}x")
+            for n, s, p in rows
+        ],
+    )
+    by_name = {n: (s, p) for n, s, p in rows}
+    # SG1 advantage >= ~4x (the paper reports 6x).
+    sg1_saber, sg1_spark = by_name["SG1"]
+    assert sg1_saber > 3.5 * sg1_spark
+    # All queries beat the micro-batch baseline.
+    assert all(s > p for __, s, p in rows)

@@ -1,0 +1,87 @@
+"""Fig. 10 — CPU/GPGPU trade-off as query complexity grows.
+
+(a) SELECT_n, ω32KB,32KB: the CPU decays with the predicate count and is
+dispatcher-bound for n ≤ 4; the GPGPU stays flat (data-path-bound);
+the crossover falls between 8 and 16 predicates; hybrid ≈ additive.
+
+(b) JOIN_r, ω4KB,4KB: an order of magnitude below the selection scale;
+the CPU decays with r while the GPGPU is flat; hybrid is beneficial.
+"""
+
+import pytest
+
+from common import gbps, run_simulated
+from repro.workloads.synthetic import join_query, select_query, window_bytes
+
+PREDICATES = [1, 2, 4, 8, 16, 32, 64]
+
+
+def sweep(make_query):
+    rows = []
+    for n in PREDICATES:
+        results = {}
+        for mode, kwargs in (
+            ("cpu", dict(use_gpu=False)),
+            ("gpu", dict(use_cpu=False)),
+            ("hybrid", {}),
+        ):
+            report = run_simulated(make_query(n), tasks=260, **kwargs)
+            results[mode] = report.throughput_bytes
+        rows.append((n, results["cpu"], results["gpu"], results["hybrid"]))
+    return rows
+
+
+def run_selection():
+    window = window_bytes(32 << 10, 32 << 10)
+    return sweep(lambda n: select_query(n, window=window))
+
+
+def run_join():
+    window = window_bytes(4 << 10, 4 << 10)
+    return sweep(lambda r: join_query(r, window=window))
+
+
+def test_fig10a_select_predicates(benchmark, paper_table):
+    rows = benchmark.pedantic(run_selection, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 10a — SELECT_n, w32KB,32KB (GB/s)",
+        ["n", "CPU only", "GPGPU only", "hybrid"],
+        [(n, gbps(c), gbps(g), gbps(h)) for n, c, g, h in rows],
+    )
+    by_n = {n: (c, g, h) for n, c, g, h in rows}
+    # Dispatcher-bound region: n <= 4 all ~8 GB/s on the CPU.
+    assert by_n[1][0] == pytest.approx(8e9, rel=0.15)
+    assert by_n[4][0] == pytest.approx(8e9, rel=0.15)
+    # CPU decays monotonically beyond the dispatcher-bound region.
+    cpu = [c for __, c, __, __ in rows]
+    assert cpu[3] > cpu[4] > cpu[5] > cpu[6]
+    # GPGPU is flat (PCIe/copy-bound): spread < 20%.
+    gpu = [g for __, __, g, __ in rows]
+    assert max(gpu) / min(gpu) < 1.2
+    # Crossover between 8 and 32 predicates.
+    assert by_n[8][0] > by_n[8][1]
+    assert by_n[32][0] < by_n[32][1]
+    # Hybrid ~ additive for complex queries.
+    c64, g64, h64 = by_n[64]
+    assert h64 == pytest.approx(c64 + g64, rel=0.25)
+
+
+def test_fig10b_join_predicates(benchmark, paper_table):
+    rows = benchmark.pedantic(run_join, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 10b — JOIN_r, w4KB,4KB (GB/s)",
+        ["r", "CPU only", "GPGPU only", "hybrid"],
+        [(r, gbps(c), gbps(g), gbps(h)) for r, c, g, h in rows],
+    )
+    cpu = [c for __, c, __, __ in rows]
+    gpu = [g for __, __, g, __ in rows]
+    hybrid = [h for __, __, __, h in rows]
+    # CPU decays with predicates; GPGPU flat; joins an order of magnitude
+    # below the selection scale.
+    assert cpu[0] > 3 * cpu[-1]
+    assert max(gpu) / min(gpu) < 1.3
+    assert max(hybrid) < 2e9
+    # GPGPU overtakes the CPU as predicates grow (crossover exists).
+    assert cpu[-1] < gpu[-1]
+    # Hybrid beneficial across the sweep.
+    assert all(h >= max(c, g) * 0.9 for __, c, g, h in rows)

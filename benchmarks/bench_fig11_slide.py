@@ -1,0 +1,83 @@
+"""Fig. 11 — window-slide sensitivity under a fixed 1 MB task size.
+
+(a) SELECT10, ω32KB,x: stateless — neither throughput nor latency moves
+with the slide on any processor.
+
+(b) AGG_avg, ω32KB,x: the CPU computes incrementally, so its throughput
+stays high for tiny slides; the GPGPU gains as the slide grows (fewer
+window fragments = fewer work groups) until the data path bounds it.
+"""
+
+import pytest
+
+from common import gbps, run_simulated
+from repro.workloads.synthetic import agg_query, select_query, window_bytes
+
+SLIDES_BYTES = [64, 256, 1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10]
+WINDOW_BYTES = 32 << 10
+
+
+def sweep(make_query):
+    rows = []
+    for slide in SLIDES_BYTES:
+        window = window_bytes(WINDOW_BYTES, slide)
+        results = {}
+        for mode, kwargs in (
+            ("cpu", dict(use_gpu=False)),
+            ("gpu", dict(use_cpu=False)),
+            ("hybrid", {}),
+        ):
+            report = run_simulated(make_query(window), tasks=100, **kwargs)
+            results[mode] = (report.throughput_bytes, report.latency_mean)
+        rows.append((slide, results))
+    return rows
+
+
+def test_fig11a_selection_slide_insensitive(benchmark, paper_table):
+    rows = benchmark.pedantic(
+        lambda: sweep(lambda w: select_query(10, window=w)), rounds=1, iterations=1
+    )
+    paper_table(
+        "Fig. 11a — SELECT10, w32KB,x (GB/s | ms latency)",
+        ["slide (B)", "CPU", "GPGPU", "hybrid", "hybrid latency"],
+        [
+            (
+                s,
+                gbps(r["cpu"][0]),
+                gbps(r["gpu"][0]),
+                gbps(r["hybrid"][0]),
+                f"{r['hybrid'][1] * 1e3:.2f}",
+            )
+            for s, r in rows
+        ],
+    )
+    for mode in ("cpu", "gpu"):
+        series = [r[mode][0] for __, r in rows]
+        assert max(series) / min(series) < 1.25, mode  # flat in the slide
+
+
+def test_fig11b_aggregation_slide(benchmark, paper_table):
+    rows = benchmark.pedantic(
+        lambda: sweep(lambda w: agg_query("avg", window=w)), rounds=1, iterations=1
+    )
+    paper_table(
+        "Fig. 11b — AGG_avg, w32KB,x (GB/s | ms latency)",
+        ["slide (B)", "CPU", "GPGPU", "hybrid", "hybrid latency"],
+        [
+            (
+                s,
+                gbps(r["cpu"][0]),
+                gbps(r["gpu"][0]),
+                gbps(r["hybrid"][0]),
+                f"{r['hybrid'][1] * 1e3:.2f}",
+            )
+            for s, r in rows
+        ],
+    )
+    cpu = [r["cpu"][0] for __, r in rows]
+    gpu = [r["gpu"][0] for __, r in rows]
+    # Incremental CPU computation: a 512x smaller slide costs < 2.5x.
+    assert cpu[-1] / cpu[0] < 2.5
+    # GPGPU throughput rises with the slide (fewer fragments) then caps.
+    assert gpu[-1] > 2 * gpu[0]
+    assert gpu[-1] < 6e9  # bounded by the data path

@@ -1,0 +1,101 @@
+"""Fig. 12 — query task size (φ) vs throughput and latency.
+
+For SELECT10, AGG_avg GROUP-BY64 and JOIN4 (all ω32KB,32KB), throughput
+grows with the task size and plateaus around 1 MB, while latency grows
+with the task size.  The GPGPU-only JOIN4 configuration collapses beyond
+512 KB because the window-boundary computation stays on the (serial)
+host — the paper's stated implementation limit.
+"""
+
+import pytest
+
+from common import gbps, run_simulated
+from repro.workloads.synthetic import (
+    agg_query,
+    groupby_query,
+    join_query,
+    select_query,
+    window_bytes,
+)
+
+TASK_SIZES = [64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20]
+WINDOW = window_bytes(32 << 10, 32 << 10)
+
+
+def sweep(make_query, modes=("cpu", "gpu", "hybrid")):
+    rows = []
+    for size in TASK_SIZES:
+        results = {}
+        for mode in modes:
+            kwargs = {
+                "cpu": dict(use_gpu=False),
+                "gpu": dict(use_cpu=False),
+                "hybrid": {},
+            }[mode]
+            report = run_simulated(
+                make_query(), tasks=100, task_size_bytes=size, **kwargs
+            )
+            results[mode] = (report.throughput_bytes, report.latency_mean)
+        rows.append((size, results))
+    return rows
+
+
+def _table(paper_table, title, rows):
+    paper_table(
+        title,
+        ["task size (KB)", "CPU", "GPGPU", "hybrid", "hybrid latency (ms)"],
+        [
+            (
+                size >> 10,
+                gbps(r["cpu"][0]),
+                gbps(r["gpu"][0]),
+                gbps(r["hybrid"][0]),
+                f"{r['hybrid'][1] * 1e3:.2f}",
+            )
+            for size, r in rows
+        ],
+    )
+
+
+def test_fig12a_select10(benchmark, paper_table):
+    rows = benchmark.pedantic(
+        lambda: sweep(lambda: select_query(10, window=WINDOW)),
+        rounds=1, iterations=1,
+    )
+    _table(paper_table, "Fig. 12a — SELECT10, w32KB,32KB", rows)
+    hybrid = [r["hybrid"][0] for __, r in rows]
+    latency = [r["hybrid"][1] for __, r in rows]
+    # Throughput grows then plateaus around 1 MB.
+    assert hybrid[4] > 1.5 * hybrid[0]
+    assert hybrid[6] < 1.25 * hybrid[4]
+    # Latency grows with the task size.
+    assert latency[-1] > 3 * latency[0]
+
+
+def test_fig12b_agg_groupby(benchmark, paper_table):
+    rows = benchmark.pedantic(
+        lambda: sweep(
+            lambda: groupby_query(64, functions=["avg"], window=WINDOW)
+        ),
+        rounds=1, iterations=1,
+    )
+    _table(paper_table, "Fig. 12b — AGG_avg GROUP-BY64, w32KB,32KB", rows)
+    hybrid = [r["hybrid"][0] for __, r in rows]
+    assert hybrid[4] > 1.5 * hybrid[0]
+    assert hybrid[6] < 1.25 * hybrid[4]
+
+
+def test_fig12c_join4_gpu_collapse(benchmark, paper_table):
+    rows = benchmark.pedantic(
+        lambda: sweep(lambda: join_query(4, window=WINDOW)),
+        rounds=1, iterations=1,
+    )
+    _table(paper_table, "Fig. 12c — JOIN4, w32KB,32KB", rows)
+    gpu = {size: r["gpu"][0] for size, r in rows}
+    # GPGPU-only throughput collapses beyond 512 KB (serial host-side
+    # window-boundary computation, quadratic in the task's tuples).
+    assert gpu[4 << 20] < 0.4 * gpu[512 << 10]
+    assert gpu[1 << 20] < gpu[512 << 10]
+    # CPU-only does not collapse.
+    cpu = {size: r["cpu"][0] for size, r in rows}
+    assert cpu[4 << 20] > 0.5 * cpu[512 << 10]

@@ -1,0 +1,58 @@
+"""Fig. 14 — CPU operator scalability with the worker-thread count.
+
+PROJ6 (ω32KB,32KB) on the CPU only: throughput scales linearly up to the
+16 physical cores and plateaus (slightly degrades) beyond, due to
+context switching.  The dispatcher bound is lifted for this experiment
+by raising the dispatch bandwidth, as the paper measures the operator in
+isolation.
+"""
+
+import dataclasses
+
+import pytest
+
+from common import gbps, run_simulated
+from repro.hardware.specs import DEFAULT_SPEC
+from repro.workloads.synthetic import proj_query, window_bytes
+
+WORKERS = [1, 2, 4, 8, 16, 32]
+
+
+def run_experiment():
+    # Measure the operator in isolation: push the dispatcher bound and
+    # make the query compute-heavy enough that cores are the bottleneck.
+    spec = dataclasses.replace(DEFAULT_SPEC, dispatch_bandwidth=64e9)
+    rows = []
+    for workers in WORKERS:
+        query = proj_query(
+            6,
+            window=window_bytes(32 << 10, 32 << 10),
+            expressions_per_attribute=20,
+        )
+        report = run_simulated(
+            query,
+            tasks=120,
+            use_gpu=False,
+            cpu_workers=workers,
+            spec=spec,
+        )
+        rows.append((workers, report.throughput_bytes))
+    return rows
+
+
+def test_fig14_cpu_scalability(benchmark, paper_table):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 14 — PROJ6 CPU scalability (GB/s)",
+        ["workers", "throughput", "speed-up vs 1"],
+        [
+            (w, gbps(t), f"{t / rows[0][1]:.1f}x")
+            for w, t in rows
+        ],
+    )
+    by_workers = dict(rows)
+    # Linear region: 8 workers ~8x one worker (within 25%).
+    assert by_workers[8] / by_workers[1] == pytest.approx(8.0, rel=0.25)
+    assert by_workers[16] / by_workers[1] == pytest.approx(16.0, rel=0.3)
+    # Beyond the physical cores: plateau or slight degradation.
+    assert by_workers[32] < 1.15 * by_workers[16]

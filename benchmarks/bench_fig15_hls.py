@@ -1,0 +1,122 @@
+"""Fig. 15 — HLS vs FCFS vs Static scheduling on W1 and W2.
+
+W1: Q1 = PROJ6* (PROJ6 with 100 arithmetic expressions per attribute,
+GPGPU-preferred) and Q2 = AGG_cnt GROUP-BY1 with ω32KB,16KB
+(CPU-preferred).  FCFS mismatches tasks and processors; Static
+(Q1→GPGPU, Q2→CPU) improves; HLS beats Static by exploiting all
+resources.
+
+W2: Q3 = PROJ1 and Q4 = AGG_sum (both ω32KB,32KB): any static assignment
+under-utilises one processor; FCFS splits ~evenly; HLS converges to a
+better split and peak throughput.
+"""
+
+import pytest
+
+from common import gbps, run_saber
+from repro.core.scheduler import CPU, GPU
+from repro.workloads.synthetic import (
+    agg_query,
+    groupby_query,
+    proj_query,
+    window_bytes,
+)
+
+
+def w1_queries():
+    q1 = proj_query(
+        6, window=window_bytes(32 << 10, 32 << 10),
+        expressions_per_attribute=100, name="Q1_PROJ6star",
+    )
+    q2 = groupby_query(
+        1, functions=["cnt"], window=window_bytes(32 << 10, 16 << 10),
+        name="Q2_AGGcnt",
+    )
+    return [q1, q2]
+
+
+def w2_queries():
+    q3 = proj_query(1, window=window_bytes(32 << 10, 32 << 10), name="Q3_PROJ1")
+    q4 = agg_query("sum", window=window_bytes(32 << 10, 32 << 10), name="Q4_AGGsum")
+    return [q3, q4]
+
+
+def run_workload(queries, scheduler, static_assignment=None):
+    report = run_saber(
+        [(q, None) for q in queries],
+        tasks_per_query=300,
+        execute_data=False,
+        scheduler=scheduler,
+        static_assignment=static_assignment,
+    )
+    return report.throughput_bytes
+
+
+def run_experiment():
+    results = {}
+    w1 = w1_queries()
+    w1_static = {w1[0].name: GPU, w1[1].name: CPU}
+    results["W1"] = {
+        "FCFS": run_workload(w1_queries(), "fcfs"),
+        "Static": run_workload(w1_queries(), "static", w1_static),
+        "HLS": run_workload(w1_queries(), "hls"),
+    }
+    w2 = w2_queries()
+    # The paper shows the better of the two static assignments for W2.
+    w2_static = {w2[0].name: GPU, w2[1].name: CPU}
+    results["W2"] = {
+        "FCFS": run_workload(w2_queries(), "fcfs"),
+        "Static": run_workload(w2_queries(), "static", w2_static),
+        "HLS": run_workload(w2_queries(), "hls"),
+    }
+    return results
+
+
+def test_fig15_scheduling_policies(benchmark, paper_table):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 15 — scheduling policies (GB/s)",
+        ["workload", "FCFS", "Static", "HLS"],
+        [
+            (w, gbps(r["FCFS"]), gbps(r["Static"]), gbps(r["HLS"]))
+            for w, r in results.items()
+        ],
+    )
+    for workload, r in results.items():
+        # HLS wins; Static beats FCFS on W1 (mismatched preferences).
+        assert r["HLS"] > r["Static"] * 0.98, workload
+        assert r["HLS"] >= r["FCFS"], workload
+    assert results["W1"]["Static"] > results["W1"]["FCFS"]
+
+
+def test_fig15_hls_converges_to_preferred_split(benchmark, paper_table):
+    """HLS routes each W1 query to its preferred processor."""
+
+    def run():
+        w1 = w1_queries()
+        report = run_saber(
+            [(q, None) for q in w1],
+            tasks_per_query=300,
+            execute_data=False,
+            scheduler="hls",
+        )
+        shares = {}
+        for query in w1:
+            records = [
+                r for r in report.measurements.records if r.query == query.name
+            ]
+            gpu_share = sum(
+                1 for r in records if r.processor == GPU
+            ) / max(1, len(records))
+            shares[query.name] = gpu_share
+        return shares
+
+    shares = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 15 (detail) — W1 GPGPU task share under HLS",
+        ["query", "GPGPU share"],
+        [(name, f"{share:.0%}") for name, share in shares.items()],
+    )
+    # PROJ6* leans on the GPGPU; AGG_cnt GROUP-BY1 leans on the CPU.
+    assert shares["Q1_PROJ6star"] > 0.5
+    assert shares["Q2_AGGcnt"] < 0.5

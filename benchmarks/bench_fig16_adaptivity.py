@@ -1,0 +1,117 @@
+"""Fig. 16 — HLS adapts to workload changes (selectivity surges).
+
+A SELECT500 query with predicate ``p1 and (p2 or ... or p500)`` filters
+task-failure events from the cluster-monitoring trace.  When the failure
+selectivity is low the CPU short-circuits after one comparison and
+monopolises the queue (the GPGPU receives only leftover tasks); during
+failure surges every selected tuple drags the CPU through the OR chain
+while the SIMD GPGPU's cost is unchanged, so HLS shifts tasks to the
+GPGPU.
+
+Scaling note: the paper streams 30 wall-clock seconds with a 100 ms
+matrix refresh; our virtual run compresses the same dynamics (several
+surge cycles, many matrix refreshes per cycle) into a smaller stream —
+see EXPERIMENTS.md.  Adaptation *lags* the surge by roughly one matrix
+refresh, exactly as in the paper's time series, so the assertion
+correlates the GPGPU share against the surge phase at small lags.
+"""
+
+import numpy as np
+import pytest
+
+from common import run_saber
+from repro.workloads.cluster import ClusterMonitoringSource, surge_select_query
+
+PREDICATES = 500
+TASK_BYTES = 48 << 10            # 1,024 tuples per task
+TUPLES_PER_TASK = 1024
+#: the adaptation lag is ~25 tasks (matrix refresh + re-observation of the
+#: idle processor); the cycle must be long relative to it, as the paper's
+#: multi-second surges are to its 100 ms refresh.
+TASKS_PER_CYCLE = 150
+SURGE_PERIOD = TASKS_PER_CYCLE * TUPLES_PER_TASK
+SURGE_FRACTION = 0.4
+SURGE_RATE = 0.5
+TASKS = 600                      # four surge cycles
+BUCKET = 10                      # tasks per reporting bucket
+
+
+def surge_fraction_of_task(task_index: int) -> float:
+    """Fraction of a task's tuples inside the surge phase of its cycle."""
+    start = task_index * TUPLES_PER_TASK
+    phases = (np.arange(start, start + TUPLES_PER_TASK) % SURGE_PERIOD) / SURGE_PERIOD
+    return float((phases >= 1.0 - SURGE_FRACTION).mean())
+
+
+def run_experiment():
+    query = surge_select_query(PREDICATES)
+    source = ClusterMonitoringSource(
+        seed=5,
+        base_failure_rate=0.005,
+        failure_surge=(SURGE_PERIOD, SURGE_FRACTION, SURGE_RATE),
+    )
+    report = run_saber(
+        [(query, [source])],
+        tasks_per_query=TASKS,
+        task_size_bytes=TASK_BYTES,
+        matrix_refresh_seconds=1e-4,
+        switch_threshold=10,
+    )
+    records = sorted(report.measurements.records, key=lambda r: r.created)
+    gpu_share = []
+    surge_share = []
+    for i in range(0, len(records) - BUCKET + 1, BUCKET):
+        chunk = records[i : i + BUCKET]
+        gpu_share.append(
+            sum(1 for r in chunk if r.processor == "GPGPU") / len(chunk)
+        )
+        surge_share.append(
+            float(np.mean([surge_fraction_of_task(i + k) for k in range(BUCKET)]))
+        )
+    return np.asarray(gpu_share), np.asarray(surge_share)
+
+
+def episodes_of(series: np.ndarray, high: float, low: float) -> "list[tuple[int, int]]":
+    """(onset, end) index pairs where the series rises above ``high``
+    until it falls back below ``low`` (hysteresis detection)."""
+    episodes = []
+    active = False
+    start = 0
+    for i, s in enumerate(series):
+        if s >= high and not active:
+            active, start = True, i
+        elif s <= low and active:
+            episodes.append((start, i))
+            active = False
+    if active:
+        episodes.append((start, len(series)))
+    return episodes
+
+
+def test_fig16_hls_adaptivity(benchmark, paper_table):
+    gpu, surge = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 16 — GPGPU task share vs surge phase (SELECT500)",
+        ["bucket", "surge fraction", "GPGPU share"],
+        [
+            (i, f"{s:.0%}", f"{g:.0%}")
+            for i, (s, g) in enumerate(zip(surge, gpu))
+        ],
+    )
+    surges = episodes_of(surge, high=0.6, low=0.05)
+    takeovers = episodes_of(gpu, high=0.8, low=0.3)
+    assert len(surges) >= 3
+    # GPGPU takeovers are recurring episodes tracking the surge cycles
+    # (the response lags each onset by the queue + in-flight backlog, so
+    # the final surge's response may fall past the series end).
+    assert len(surges) - 1 <= len(takeovers) <= len(surges)
+    cycle = TASKS_PER_CYCLE // BUCKET
+    for onset, __ in surges[:-1]:
+        window = gpu[onset : onset + cycle]
+        assert window.max() >= 0.8, onset
+    # The takeovers are episodes, not a permanent switch...
+    hot_buckets = (gpu >= 0.8).mean()
+    assert 0.1 < hot_buckets < 0.7
+    # ...and the baseline is CPU-dominated, with the residual GPGPU share
+    # coming from the switch-threshold rule, as the paper describes.
+    assert float(np.median(gpu)) <= 0.3

@@ -1,0 +1,102 @@
+"""§6.2 (inline) — SABER vs the MonetDB-like columnar engine.
+
+The paper joins two 1 MB tables of 32-byte tuples (θ-join, 1 %
+selectivity) with 15 threads:
+
+* two-column output: MonetDB 980 ms vs SABER 1,088 ms (comparable);
+* ``select *``: MonetDB ≈2× slower (≈40 % spent reconstructing output
+  tuples after the join);
+* hash equi-join at the same selectivity: MonetDB ≈2.7× faster.
+
+We execute the joins for real at a reduced row count (the full 32,768²
+pair matrix is memory-hostile) and report the cost model evaluated at
+the paper's scale alongside.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.columnar import ColumnarEngine
+
+PAPER_ROWS = 32 * 1024          # 1 MB of 32-byte tuples
+REAL_ROWS = 4096                # executed for correctness
+SELECTIVITY = 0.01
+EXTRA_COLUMNS = 14              # select *: both tuples' remaining columns
+
+
+def make_tables(rows, seed=0):
+    rng = np.random.default_rng(seed)
+    left = rng.integers(0, 1_000_000, rows)
+    # Band predicate left < right with ~1% matches.
+    right = rng.integers(0, int(2 * SELECTIVITY * 1_000_000), rows)
+    return left, right
+
+
+def analytic_times(engine):
+    """Cost-model times at the paper's 32k-row scale."""
+    pairs = float(PAPER_ROWS) ** 2
+    matches = pairs * SELECTIVITY
+    theta = pairs * engine.costs.pair_scan / engine.threads
+    theta += matches * engine.costs.output_row_two_columns
+    star = theta + matches * EXTRA_COLUMNS * engine.costs.reconstruct_column
+    equi = 2 * PAPER_ROWS * engine.costs.hash_row / engine.threads
+    equi += matches * engine.costs.output_row_two_columns
+    return theta, star, equi
+
+
+def saber_equivalent_time():
+    """SABER emulates the join as 1 MB tumbling-window streams (§6.2)."""
+    from repro.hardware.cpu import CpuModel
+    from repro.operators.base import CostProfile
+
+    cpu = CpuModel()
+    profile = CostProfile(kind="join", join_predicate_count=1)
+    pairs = float(PAPER_ROWS) ** 2
+    stats = {"pairs": pairs, "fragments": 1.0, "selectivity": SELECTIVITY}
+    # One window over the whole table pair, processed data-parallel
+    # across tasks: aggregate CPU time with 15 workers, plus the result
+    # rows materialised through the result stage (serial output path).
+    serial = cpu.task_seconds(profile, 2 * PAPER_ROWS, stats)
+    output_rows = pairs * SELECTIVITY
+    return serial / 15 + output_rows * 55e-9
+
+
+def run_experiment():
+    engine = ColumnarEngine(threads=15)
+    left, right = make_tables(REAL_ROWS)
+    real_theta = engine.theta_join(left, right)
+    real_star = engine.theta_join(left, right, select_all_columns=EXTRA_COLUMNS)
+    real_equi = engine.equi_join(left, right)
+    theta, star, equi = analytic_times(engine)
+    saber = saber_equivalent_time()
+    return {
+        "real_rows": (real_theta.rows, real_equi.rows),
+        "theta": theta,
+        "star": star,
+        "equi": equi,
+        "saber": saber,
+    }
+
+
+def test_monetdb_comparison(benchmark, paper_table):
+    r = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    paper_table(
+        "§6.2 — MonetDB-like vs SABER, 2x1MB theta-join (paper scale, ms)",
+        ["configuration", "MonetDB-like", "SABER", "ratio"],
+        [
+            ("theta-join, 2 columns", f"{r['theta'] * 1e3:.0f}",
+             f"{r['saber'] * 1e3:.0f}", f"{r['saber'] / r['theta']:.2f}"),
+            ("theta-join, select *", f"{r['star'] * 1e3:.0f}",
+             f"{r['saber'] * 1e3:.0f}", f"{r['saber'] / r['star']:.2f}"),
+            ("hash equi-join", f"{r['equi'] * 1e3:.0f}",
+             f"{r['saber'] * 1e3:.0f}", f"{r['saber'] / r['equi']:.2f}"),
+        ],
+    )
+    # Paper anchors: 980 ms vs 1,088 ms (within ~40% here), 2x, 2.7x.
+    assert r["theta"] == pytest.approx(0.980, rel=0.4)
+    assert r["saber"] == pytest.approx(r["theta"], rel=0.5)   # comparable
+    assert r["star"] > 1.3 * r["theta"]                        # reconstruction
+    assert r["saber"] / r["equi"] == pytest.approx(2.7, rel=0.5)
+    # The real (reduced-scale) execution found ~1% matches.
+    theta_rows, equi_rows = r["real_rows"]
+    assert theta_rows == pytest.approx(SELECTIVITY * REAL_ROWS**2, rel=0.35)

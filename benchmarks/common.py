@@ -1,0 +1,48 @@
+"""Shared helpers for the figure-reproduction benchmarks."""
+
+from __future__ import annotations
+
+from repro.core.engine import Report, SaberConfig, SaberEngine
+
+GB = 1e9
+MB = 1e6
+
+
+def run_saber(
+    queries_and_sources,
+    tasks_per_query: int = 150,
+    **config_kwargs,
+) -> Report:
+    """Run one engine instance over (query, sources) pairs."""
+    defaults = dict(
+        task_size_bytes=1 << 20,
+        cpu_workers=15,
+        queue_capacity=32,
+        collect_output=False,
+    )
+    defaults.update(config_kwargs)
+    engine = SaberEngine(SaberConfig(**defaults))
+    for query, sources in queries_and_sources:
+        engine.add_query(query, sources)
+    return engine.run(tasks_per_query=tasks_per_query)
+
+
+def run_simulated(query, tasks: int = 150, **config_kwargs) -> Report:
+    """Simulation-only run (analytic statistics, no real data)."""
+    config_kwargs.setdefault("execute_data", False)
+    return run_saber([(query, None)], tasks_per_query=tasks, **config_kwargs)
+
+
+def hybrid_split(report: Report) -> str:
+    shares = report.processor_share()
+    cpu = shares.get("CPU", 0.0)
+    gpu = shares.get("GPGPU", 0.0)
+    return f"{cpu:.0%}/{gpu:.0%}"
+
+
+def gbps(value: float) -> str:
+    return f"{value / GB:.2f}"
+
+
+def mbps(value: float) -> str:
+    return f"{value / MB:.0f}"

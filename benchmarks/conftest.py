@@ -1,0 +1,46 @@
+"""Benchmark harness support.
+
+Each benchmark reproduces one table or figure of the paper and registers
+a human-readable results table via the ``paper_table`` fixture.  All
+registered tables are printed in the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the paper-shaped numbers alongside pytest-benchmark's timing stats.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+_TABLES: "list[tuple[str, list[str], list[list]]]" = []
+
+
+@pytest.fixture
+def paper_table():
+    """Register a results table: ``paper_table(title, headers, rows)``."""
+
+    def register(title, headers, rows):
+        _TABLES.append((title, list(headers), [list(r) for r in rows]))
+
+    return register
+
+
+def _format_table(title, headers, rows):
+    cells = [headers] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = [f"── {title} " + "─" * max(0, 72 - len(title))]
+    lines.append("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in cells[1:]:
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _TABLES:
+        return
+    terminalreporter.write_sep("=", "paper reproduction results")
+    for title, headers, rows in _TABLES:
+        terminalreporter.write_line(_format_table(title, headers, rows))
+        terminalreporter.write_line("")

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Scheduler lab: watch HLS beat FCFS and Static on a mixed workload.
+
+Recreates the paper's Fig. 15 W1 situation interactively: two queries
+with *opposite* processor preferences —
+
+* Q1 = PROJ6* (heavy arithmetic, GPGPU-preferred),
+* Q2 = AGG_cnt GROUP-BY1 (incremental on the CPU, GPGPU atomics
+  serialise on the single group),
+
+run under the three scheduling policies.  Also demonstrates the UDF
+partition join from §2.4 on the public API.
+
+Run with::
+
+    python examples/scheduler_lab.py
+"""
+
+import numpy as np
+
+from repro import SaberConfig, SaberEngine, Schema, TupleBatch, partition_join
+from repro.core.scheduler import CPU, GPU
+from repro.windows.definition import WindowDefinition
+from repro.core.query import Query
+from repro.workloads.synthetic import (
+    SyntheticSource,
+    groupby_query,
+    proj_query,
+    window_bytes,
+)
+
+
+def scheduling_comparison() -> None:
+    print("== Fig. 15-style scheduling comparison (W1) ==")
+
+    def make_queries():
+        q1 = proj_query(
+            6, window=window_bytes(32 << 10, 32 << 10),
+            expressions_per_attribute=100, name="Q1_PROJ6star",
+        )
+        q2 = groupby_query(
+            1, functions=["cnt"], window=window_bytes(32 << 10, 16 << 10),
+            name="Q2_AGGcnt",
+        )
+        return [q1, q2]
+
+    policies = [
+        ("FCFS", dict(scheduler="fcfs")),
+        ("Static", dict(
+            scheduler="static",
+            static_assignment={"Q1_PROJ6star": GPU, "Q2_AGGcnt": CPU},
+        )),
+        ("HLS", dict(scheduler="hls")),
+    ]
+    for label, kwargs in policies:
+        engine = SaberEngine(
+            SaberConfig(execute_data=False, collect_output=False, **kwargs)
+        )
+        for query in make_queries():
+            engine.add_query(query)
+        report = engine.run(tasks_per_query=200)
+        shares = {
+            q: sum(
+                1 for r in report.measurements.records
+                if r.query == q and r.processor == GPU
+            ) / max(1, sum(1 for r in report.measurements.records if r.query == q))
+            for q in ("Q1_PROJ6star", "Q2_AGGcnt")
+        }
+        print(
+            f"  {label:7s} {report.throughput_bytes / 1e9:5.2f} GB/s   "
+            f"Q1 on GPGPU {shares['Q1_PROJ6star']:4.0%}, "
+            f"Q2 on GPGPU {shares['Q2_AGGcnt']:4.0%}"
+        )
+
+
+def partition_join_demo() -> None:
+    """The §2.4 UDF example: an n-ary partition join.
+
+    Two sensor streams are partitioned by device id per window; matching
+    partitions are combined (here: count pairings and compare means) —
+    behaviour a plain θ-join cannot express.
+    """
+    print("\n== UDF partition join (section 2.4) ==")
+    schema = Schema.with_timestamp("value:float, device:int")
+    out_schema = Schema.parse("device:long, left_mean:double, right_mean:double")
+
+    def combine(parts):
+        left, right = parts
+        device = int(np.asarray(left.column("device"))[0])
+        return TupleBatch.from_columns(
+            out_schema,
+            device=np.array([device], dtype=np.int64),
+            left_mean=np.array([np.asarray(left.column("value")).mean()]),
+            right_mean=np.array([np.asarray(right.column("value")).mean()]),
+        )
+
+    operator = partition_join([schema, schema], "device", out_schema, combine)
+    query = Query(
+        "partition_join", operator, [WindowDefinition.rows(256, 256)] * 2
+    )
+
+    class DeviceSource:
+        def __init__(self, seed, offset):
+            self.schema = schema
+            self._rng = np.random.default_rng(seed)
+            self._pos, self._offset = 0, offset
+
+        def next_tuples(self, n):
+            idx = np.arange(self._pos, self._pos + n, dtype=np.int64)
+            self._pos += n
+            return TupleBatch.from_columns(
+                self.schema,
+                timestamp=idx // 128,
+                value=(self._offset + self._rng.normal(0, 1, n)).astype(np.float32),
+                device=self._rng.integers(0, 4, n).astype(np.int32),
+            )
+
+    engine = SaberEngine(SaberConfig(task_size_bytes=8 << 10, cpu_workers=4))
+    engine.add_query(query, [DeviceSource(1, 10.0), DeviceSource(2, 20.0)])
+    report = engine.run(tasks_per_query=8)
+    out = report.outputs[query.name]
+    print(f"  joined partitions: {len(out)} rows")
+    for row in out.to_rows()[:4]:
+        device, lm, rm = row
+        print(f"  device {device}: left mean {lm:5.2f}, right mean {rm:5.2f}")
+
+
+def main() -> None:
+    scheduling_comparison()
+    partition_join_demo()
+
+
+if __name__ == "__main__":
+    main()

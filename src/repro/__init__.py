@@ -1,0 +1,100 @@
+"""SABER reproduction: window-based hybrid stream processing.
+
+A Python reproduction of *SABER: Window-Based Hybrid Stream Processing
+for Heterogeneous Architectures* (Koliousis et al., SIGMOD 2016).  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+
+Quickstart::
+
+    from repro import (
+        SaberEngine, SaberConfig, parse_cql, Schema,
+    )
+    from repro.workloads import SyntheticSource
+
+    schema = Schema.with_timestamp("value:float, key:int")
+    query = parse_cql(
+        "select timestamp, key, sum(value) as total "
+        "from S [rows 1024 slide 256] group by key",
+        schemas={"S": schema},
+    )
+    engine = SaberEngine(SaberConfig())
+    engine.add_query(query, [SyntheticSource(schema, seed=7)])
+    report = engine.run(tasks_per_query=64)
+    print(report.throughput_bytes / 1e9, "GB/s")
+"""
+
+from .errors import SaberError
+from .relational import (
+    Attribute,
+    CircularTupleBuffer,
+    Schema,
+    TupleBatch,
+    col,
+    conjunction,
+    disjunction,
+)
+from .windows import FragmentState, WindowDefinition, WindowSet, assign_windows
+from .operators import (
+    AggregateSpec,
+    Aggregation,
+    DistinctProjection,
+    FilteredWindows,
+    GroupedAggregation,
+    Projection,
+    Selection,
+    ThetaJoin,
+    WindowUdf,
+    partition_join,
+)
+from .core import (
+    CPU,
+    GPU,
+    Query,
+    Report,
+    SaberConfig,
+    SaberEngine,
+    StreamFunction,
+    parse_cql,
+)
+from .hardware import DEFAULT_SPEC, CpuModel, GpuModel, HardwareSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SaberError",
+    "Schema",
+    "Attribute",
+    "TupleBatch",
+    "CircularTupleBuffer",
+    "col",
+    "conjunction",
+    "disjunction",
+    "WindowDefinition",
+    "WindowSet",
+    "FragmentState",
+    "assign_windows",
+    "AggregateSpec",
+    "Aggregation",
+    "GroupedAggregation",
+    "Projection",
+    "Selection",
+    "ThetaJoin",
+    "DistinctProjection",
+    "FilteredWindows",
+    "WindowUdf",
+    "partition_join",
+    "Query",
+    "StreamFunction",
+    "SaberEngine",
+    "SaberConfig",
+    "Report",
+    "CPU",
+    "GPU",
+    "parse_cql",
+    "HardwareSpec",
+    "DEFAULT_SPEC",
+    "CpuModel",
+    "GpuModel",
+    "__version__",
+]

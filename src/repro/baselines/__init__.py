@@ -1,0 +1,14 @@
+"""Comparison baselines: Esper-like, Spark-Streaming-like, MonetDB-like."""
+
+from .esperlike import EsperLikeEngine, EsperReport
+from .sparklike import SparkLikeEngine
+from .columnar import ColumnarCosts, ColumnarEngine, ColumnarJoinResult
+
+__all__ = [
+    "EsperLikeEngine",
+    "EsperReport",
+    "SparkLikeEngine",
+    "ColumnarEngine",
+    "ColumnarCosts",
+    "ColumnarJoinResult",
+]

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``run`` — execute a named application query (Table 1) or an ad-hoc CQL
+  string over one of the bundled workloads and print a run report;
+* ``list`` — list the bundled application queries;
+* ``hardware`` — print the calibrated hardware specification.
+
+Examples::
+
+    python -m repro list
+    python -m repro run CM1 --tasks 16 --task-size 65536
+    python -m repro run --cql "select timestamp, avg(value) as a \\
+        from SmartGridStr [range 60 slide 10]" --workload smartgrid
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+
+from .core.cql import parse_cql
+from .core.engine import SaberConfig, SaberEngine
+from .hardware.specs import DEFAULT_SPEC
+from .workloads import cluster, linearroad, smartgrid
+from .workloads.queries import APPLICATION_QUERIES, build
+
+#: ad-hoc CQL runs pick a source (and its stream name) per workload.
+_WORKLOADS = {
+    "cluster": ("TaskEvents", cluster.TASK_EVENTS_SCHEMA,
+                lambda seed, rate: cluster.ClusterMonitoringSource(
+                    seed=seed, tuples_per_second=rate)),
+    "smartgrid": ("SmartGridStr", smartgrid.SMART_GRID_SCHEMA,
+                  lambda seed, rate: smartgrid.SmartGridSource(
+                      seed=seed, tuples_per_second=rate)),
+    "linearroad": ("SegSpeedStr", linearroad.POS_SPEED_SCHEMA,
+                   lambda seed, rate: linearroad.LinearRoadSource(
+                       seed=seed, tuples_per_second=rate)),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SABER reproduction: hybrid window-based stream processing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a query on the hybrid engine")
+    run.add_argument("query", nargs="?", help="application query name (e.g. CM1)")
+    run.add_argument("--cql", help="ad-hoc CQL string instead of a named query")
+    run.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default="smartgrid",
+        help="source workload for --cql runs",
+    )
+    run.add_argument("--tasks", type=int, default=32, help="tasks to process")
+    run.add_argument(
+        "--task-size", type=int, default=1 << 20, help="query task size phi in bytes"
+    )
+    run.add_argument("--workers", type=int, default=15, help="CPU worker threads")
+    run.add_argument("--no-gpu", action="store_true", help="disable the GPGPU")
+    run.add_argument(
+        "--scheduler", choices=["hls", "fcfs"], default="hls",
+        help="task scheduling policy",
+    )
+    run.add_argument("--seed", type=int, default=1, help="workload seed")
+    run.add_argument(
+        "--rate", type=int, default=256,
+        help="source tuples per logical second (time-window density)",
+    )
+    run.add_argument(
+        "--show-rows", type=int, default=5, help="result rows to print"
+    )
+
+    sub.add_parser("list", help="list the bundled application queries")
+    sub.add_parser("hardware", help="print the calibrated hardware spec")
+    return parser
+
+
+def _command_list() -> int:
+    for name in APPLICATION_QUERIES:
+        query, __ = build(name)
+        profile = query.operator.cost_profile()
+        windows = ", ".join(str(w) if w else "unbounded" for w in query.windows)
+        print(f"{name:6s} kind={profile.kind:12s} windows=[{windows}]")
+    return 0
+
+
+def _command_hardware() -> int:
+    for field in dataclasses.fields(DEFAULT_SPEC):
+        print(f"{field.name:32s} {getattr(DEFAULT_SPEC, field.name)}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    if bool(args.query) == bool(args.cql):
+        print("error: pass either a query name or --cql", file=sys.stderr)
+        return 2
+    if args.cql:
+        stream, schema, make_source = _WORKLOADS[args.workload]
+        query = parse_cql(args.cql, {stream: schema}, name="cli")
+        sources = [make_source(args.seed, args.rate)]
+    else:
+        query, sources = build(
+            args.query, seed=args.seed, tuples_per_second=args.rate
+        )
+    engine = SaberEngine(
+        SaberConfig(
+            task_size_bytes=args.task_size,
+            cpu_workers=args.workers,
+            use_gpu=not args.no_gpu,
+            scheduler=args.scheduler,
+        )
+    )
+    engine.add_query(query, sources)
+    report = engine.run(tasks_per_query=args.tasks)
+    print(f"query      : {query.name}")
+    print(f"throughput : {report.throughput_bytes / 1e6:.1f} MB/s (virtual)")
+    print(f"latency    : {report.latency_mean * 1e3:.2f} ms mean")
+    shares = ", ".join(
+        f"{p}={s:.0%}" for p, s in sorted(report.processor_share().items())
+    )
+    print(f"split      : {shares}")
+    print(f"output     : {report.output_rows[query.name]} rows")
+    output = report.outputs[query.name]
+    if output is not None and len(output) and args.show_rows:
+        print(f"first {min(args.show_rows, len(output))} rows:")
+        for row in output.to_rows()[: args.show_rows]:
+            print(f"  {row}")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "hardware":
+        return _command_hardware()
+    return _command_run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

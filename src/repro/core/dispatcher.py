@@ -1,0 +1,125 @@
+"""Dispatching stage (§4.1).
+
+The dispatcher owns one circular buffer per input stream and per query,
+inserts incoming tuples *without deserialisation*, and cuts fixed-size
+query tasks: as soon as the accumulated new data across the query's
+input streams exceeds the query task size φ, a task is created carrying
+start/end pointers into the buffers.  Window boundary computation is
+deferred to the execution stage.
+
+Sources implement :class:`Source` — an infinite, timestamp-ordered tuple
+generator.  In *simulation-only* runs the dispatcher skips buffering and
+produces data-free tasks whose statistics come from the query's
+``stat_model``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ..errors import DispatchError
+from ..relational.buffer import CircularTupleBuffer
+from ..relational.schema import Schema
+from ..relational.tuples import TupleBatch
+from .query import Query
+from .task import BatchRef, QueryTask
+
+
+class Source(Protocol):
+    """An unbounded, timestamp-ordered stream of tuples."""
+
+    schema: Schema
+
+    def next_tuples(self, count: int) -> TupleBatch:
+        """The next ``count`` tuples of the stream."""
+        ...
+
+
+class Dispatcher:
+    """Creates fixed-size query tasks for one query."""
+
+    def __init__(
+        self,
+        query: Query,
+        sources: "list[Source] | None",
+        task_size_bytes: int,
+        buffer_capacity_tasks: int = 96,
+    ) -> None:
+        if task_size_bytes <= 0:
+            raise DispatchError("task size must be positive")
+        self.query = query
+        self.sources = sources
+        self.task_size_bytes = int(task_size_bytes)
+        self._next_task_id = 0
+        self._schemas = query.input_schemas
+        if sources is not None and len(sources) != len(self._schemas):
+            raise DispatchError(
+                f"query {query.name!r} needs {len(self._schemas)} sources, "
+                f"got {len(sources)}"
+            )
+        rates = query.input_rates or [1.0] * len(self._schemas)
+        total_rate = sum(rates)
+        self._tuples_per_input = [
+            max(1, int(self.task_size_bytes * rate / total_rate) // schema.tuple_size)
+            for rate, schema in zip(rates, self._schemas)
+        ]
+        self.buffers: "list[CircularTupleBuffer | None]" = []
+        if sources is None:
+            self.buffers = [None] * len(self._schemas)
+        else:
+            for schema, per_task in zip(self._schemas, self._tuples_per_input):
+                capacity = per_task * buffer_capacity_tasks
+                self.buffers.append(CircularTupleBuffer(schema, capacity))
+        self._previous_last_ts: "list[int | None]" = [None] * len(self._schemas)
+        self._cursor = [0] * len(self._schemas)
+
+    @property
+    def actual_task_bytes(self) -> int:
+        """Task size realised after rounding to whole tuples."""
+        return sum(
+            n * s.tuple_size for n, s in zip(self._tuples_per_input, self._schemas)
+        )
+
+    def create_task(self, now: float) -> QueryTask:
+        """Cut the next query task (pulls source data into the buffers)."""
+        batches: list[BatchRef] = []
+        for i, schema in enumerate(self._schemas):
+            count = self._tuples_per_input[i]
+            start = self._cursor[i]
+            stop = start + count
+            prev_last = self._previous_last_ts[i]
+            if self.sources is not None:
+                data = self.sources[i].next_tuples(count)
+                if len(data) != count:
+                    raise DispatchError(
+                        f"source {i} returned {len(data)} tuples, wanted {count}"
+                    )
+                buffer = self.buffers[i]
+                inserted_at = buffer.insert(data)
+                if inserted_at != start:
+                    raise DispatchError(
+                        f"buffer cursor out of sync: {inserted_at} != {start}"
+                    )
+                if schema.has_timestamp:
+                    self._previous_last_ts[i] = int(data.timestamps[-1])
+                batches.append(
+                    BatchRef(buffer, start, stop, prev_last)
+                )
+            else:
+                batches.append(BatchRef(None, start, stop, prev_last))
+            self._cursor[i] = stop
+        task = QueryTask(
+            query=self.query,
+            task_id=self._next_task_id,
+            batches=batches,
+            created_at=now,
+            size_bytes=self.actual_task_bytes,
+        )
+        self._next_task_id += 1
+        return task
+
+    def release(self, task: QueryTask) -> None:
+        """Reclaim buffer space once a task's results were processed."""
+        for ref in task.batches:
+            if ref.buffer is not None:
+                ref.buffer.release(ref.stop)

@@ -1,0 +1,189 @@
+"""Result stage (§4.3): reordering, window assembly, output streams.
+
+Query tasks complete out of order; the result stage stores each task's
+result in a slot of a circular result buffer (slot = task id modulo the
+slot count, with more slots than workers so a slot is always consumed
+before its reuse), then processes results *in task-id order*:
+
+1. **assembly** — the window-fragment payloads of boundary windows are
+   merged pairwise with the operator's assembly function; a window is
+   finalised when its closing fragment's task has been processed (or,
+   for multi-input operators, when the merged payload reports ready);
+2. **output construction** — finalised window results are appended to the
+   query's output stream in window order, followed by the task's locally
+   complete results, preserving the total order the stream function
+   requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ExecutionError
+from ..operators.base import BatchResult
+from ..relational.tuples import TupleBatch
+from .query import Query
+from .task import QueryTask
+
+
+@dataclass
+class EmittedResult:
+    """One ordered chunk of a query's output stream."""
+
+    task_id: int
+    rows: TupleBatch
+    emit_time: float
+    data_time: float  # when the underlying task's data was dispatched
+
+
+@dataclass
+class _Slot:
+    task: QueryTask
+    result: BatchResult
+    completion_time: float
+
+
+class ResultStage:
+    """Per-query result collection, assembly and ordering."""
+
+    def __init__(
+        self,
+        query: Query,
+        slots: int = 1024,
+        collect_output: bool = True,
+        on_release: "Callable[[QueryTask], None] | None" = None,
+    ) -> None:
+        self.query = query
+        self.slots = slots
+        self.collect_output = collect_output
+        self.on_release = on_release
+        self._buffer: dict[int, _Slot] = {}
+        self._next_task = 0
+        self._pending: dict[int, Any] = {}       # window id -> merged payload
+        self._closed_flags: set[int] = set()     # windows whose close was seen
+        self.emitted: list[EmittedResult] = []
+        self.output_rows = 0
+        self.output_bytes = 0
+
+    # -- stage entry -----------------------------------------------------------
+
+    def submit(
+        self, task: QueryTask, result: BatchResult, now: float
+    ) -> "list[EmittedResult]":
+        """Store one task's result; drain every in-order result available."""
+        if task.task_id in self._buffer or task.task_id < self._next_task:
+            raise ExecutionError(
+                f"duplicate result for task {task.task_id} of {task.query.name!r}"
+            )
+        if len(self._buffer) >= self.slots:
+            raise ExecutionError(
+                "result buffer overflow: increase slots or queue backpressure"
+            )
+        self._buffer[task.task_id] = _Slot(task, result, now)
+        emitted: list[EmittedResult] = []
+        while self._next_task in self._buffer:
+            slot = self._buffer.pop(self._next_task)
+            emitted.extend(self._process(slot, now))
+            self._next_task += 1
+        return emitted
+
+    # -- in-order processing ------------------------------------------------------
+
+    def _process(self, slot: _Slot, now: float) -> "list[EmittedResult]":
+        task, result = slot.task, slot.result
+        operator = self.query.operator
+        ready: list[int] = []
+        self._closed_flags.update(result.closed_ids)
+        if operator.requires_merged_ready:
+            # Multi-input operators decide closure from the merged state,
+            # so each task's payload is merged in immediately.
+            for wid in sorted(result.partials):
+                payload = result.partials[wid]
+                if wid in self._pending:
+                    payload = operator.merge_partials(
+                        self._pending.pop(wid), payload
+                    )
+                self._pending[wid] = payload
+                if operator.window_ready(payload):
+                    ready.append(wid)
+        else:
+            # Closure comes from closed_ids: defer the merge chain until a
+            # window finalises, so long-lived (small-slide) windows cost
+            # O(1) per task instead of a dictionary merge per task.
+            for wid in sorted(result.partials):
+                self._pending.setdefault(wid, []).append(result.partials[wid])
+                if wid in self._closed_flags:
+                    ready.append(wid)
+        chunks: list[TupleBatch] = []
+        for wid in sorted(ready):
+            payload = self._pending.pop(wid)
+            self._closed_flags.discard(wid)
+            if isinstance(payload, list):
+                merged = payload[0]
+                for part in payload[1:]:
+                    merged = operator.merge_partials(merged, part)
+                payload = merged
+            rows = operator.finalize_window(wid, payload)
+            if rows is not None and len(rows):
+                chunks.append(rows)
+        if result.complete is not None and len(result.complete):
+            chunks.append(result.complete)
+        emitted: list[EmittedResult] = []
+        if chunks:
+            rows = TupleBatch.concat(chunks) if len(chunks) > 1 else chunks[0]
+            record = EmittedResult(
+                task_id=task.task_id,
+                rows=rows if self.collect_output else rows.slice(0, 0),
+                emit_time=now,
+                data_time=task.created_at,
+            )
+            self.output_rows += len(rows)
+            self.output_bytes += rows.size_bytes
+            self.emitted.append(record)
+            emitted.append(record)
+        if self.on_release is not None:
+            self.on_release(task)
+        return emitted
+
+    # -- finishing -----------------------------------------------------------------
+
+    def flush(self, now: float) -> "list[EmittedResult]":
+        """Finalise still-open windows at end of a finite run.
+
+        Streaming semantics never emit incomplete windows; examples over
+        finite inputs call this to drain the tail.
+        """
+        operator = self.query.operator
+        chunks: list[TupleBatch] = []
+        for wid in sorted(self._pending):
+            payload = self._pending[wid]
+            if isinstance(payload, list):
+                merged = payload[0]
+                for part in payload[1:]:
+                    merged = operator.merge_partials(merged, part)
+                payload = merged
+            rows = operator.finalize_window(wid, payload)
+            if rows is not None and len(rows):
+                chunks.append(rows)
+        self._pending.clear()
+        if not chunks:
+            return []
+        rows = TupleBatch.concat(chunks) if len(chunks) > 1 else chunks[0]
+        record = EmittedResult(
+            task_id=self._next_task,
+            rows=rows if self.collect_output else rows.slice(0, 0),
+            emit_time=now,
+            data_time=now,
+        )
+        self.output_rows += len(rows)
+        self.output_bytes += rows.size_bytes
+        self.emitted.append(record)
+        return [record]
+
+    def output(self) -> "TupleBatch | None":
+        """Concatenated output stream (when output collection is on)."""
+        batches = [e.rows for e in self.emitted if len(e.rows)]
+        if not batches:
+            return None
+        return TupleBatch.concat(batches)

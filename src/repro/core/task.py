@@ -1,0 +1,54 @@
+"""Query tasks (§3, §4.1).
+
+A query task ``v = (f^q, B)`` bundles the query's operator function with
+one stream batch per input stream.  Batches are ranges into the query's
+circular input buffers — a task carries start/end pointers plus the free
+pointer up to which buffer space may be reclaimed once the task's results
+have been processed.  Task identifiers totally order the tasks of a query
+so the result stage can re-order out-of-order completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.buffer import CircularTupleBuffer
+from ..relational.tuples import TupleBatch
+from .query import Query
+
+
+@dataclass
+class BatchRef:
+    """One input stream's batch within a query task."""
+
+    buffer: "CircularTupleBuffer | None"
+    start: int                      # global tuple index (buffer logical pos)
+    stop: int
+    previous_last_timestamp: "int | None"  # for time-based window assignment
+
+    @property
+    def tuple_count(self) -> int:
+        return self.stop - self.start
+
+    def read(self) -> TupleBatch:
+        if self.buffer is None:
+            raise RuntimeError("batch reference carries no data (simulation-only run)")
+        return self.buffer.read(self.start, self.stop)
+
+
+@dataclass
+class QueryTask:
+    """A schedulable unit of work: the operator plus its stream batches."""
+
+    query: Query
+    task_id: int
+    batches: "list[BatchRef]"
+    created_at: float
+    size_bytes: int
+
+    @property
+    def tuple_count(self) -> int:
+        return sum(b.tuple_count for b in self.batches)
+
+    def __repr__(self) -> str:
+        return f"QueryTask({self.query.name}#{self.task_id}, {self.size_bytes}B)"

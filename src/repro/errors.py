@@ -1,0 +1,49 @@
+"""Exception hierarchy for the SABER reproduction.
+
+All library errors derive from :class:`SaberError` so that callers can
+catch library failures without masking programming errors.
+"""
+
+
+class SaberError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(SaberError):
+    """A schema definition or schema lookup is invalid."""
+
+
+class ExpressionError(SaberError):
+    """An expression references unknown columns or mixes invalid types."""
+
+
+class WindowError(SaberError):
+    """A window definition is invalid (e.g. non-positive size or slide)."""
+
+
+class QueryError(SaberError):
+    """A query is malformed (operator/window/stream-function mismatch)."""
+
+
+class BufferError_(SaberError):
+    """A circular buffer operation failed (overflow, bad pointer)."""
+
+
+class DispatchError(SaberError):
+    """The dispatcher could not create a query task."""
+
+
+class SchedulingError(SaberError):
+    """The scheduler was invoked with an inconsistent state."""
+
+
+class ExecutionError(SaberError):
+    """A query task failed during execution."""
+
+
+class CQLSyntaxError(SaberError):
+    """A CQL query string could not be parsed."""
+
+
+class SimulationError(SaberError):
+    """The discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,25 @@
+"""Simulated GPGPU substrate: device, kernels, PCIe, movement pipeline."""
+
+from .device import DEFAULT_GPU, GpuDeviceSpec
+from .pcie import DEFAULT_PCIE, PcieBus
+from .pipeline import STAGES, MovementPipeline, StageTiming
+from .prefix_sum import blelloch_scan, compact_indices
+from .hashtable import OpenAddressingTable
+from .kernels import execute_on_gpu, gpu_join, gpu_selection, reduction_tree
+
+__all__ = [
+    "GpuDeviceSpec",
+    "DEFAULT_GPU",
+    "PcieBus",
+    "DEFAULT_PCIE",
+    "MovementPipeline",
+    "StageTiming",
+    "STAGES",
+    "blelloch_scan",
+    "compact_indices",
+    "OpenAddressingTable",
+    "execute_on_gpu",
+    "gpu_selection",
+    "gpu_join",
+    "reduction_tree",
+]

@@ -1,0 +1,34 @@
+"""Simulated GPGPU device description (§2.2).
+
+Mirrors the evaluation hardware — an NVIDIA Quadro K5200: 2,304 cores
+grouped into streaming multiprocessors, small caches, attached over
+PCIe 3.0 ×16.  The figures here feed the GPGPU cost model
+(:mod:`repro.hardware.gpu`) and are deliberately kept as a plain data
+object so alternative devices can be described for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuDeviceSpec:
+    """Static description of a simulated GPGPU."""
+
+    name: str = "SimQuadroK5200"
+    cores: int = 2304
+    streaming_multiprocessors: int = 12
+    #: sustained per-core arithmetic rate used by the kernel-time model.
+    seconds_per_core_op: float = 1.0e-9
+    #: fixed kernel-launch overhead per query task (driver + dispatch).
+    kernel_launch_seconds: float = 20e-6
+    #: work-group size: tuples of the same window share one SM's cache.
+    work_group_size: int = 256
+
+    @property
+    def cores_per_sm(self) -> int:
+        return self.cores // self.streaming_multiprocessors
+
+
+DEFAULT_GPU = GpuDeviceSpec()

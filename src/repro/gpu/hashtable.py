@@ -1,0 +1,101 @@
+"""Open-addressing hash table for GPGPU GROUP-BY (§5.4).
+
+The paper's kernel populates a linear-probing table per work group:
+threads compare-and-set the index of the first tuple that occupied a
+slot, then atomically accumulate aggregates.  We reproduce the same data
+structure — flat numpy arrays for keys, occupancy and the
+(sum, count, min, max) accumulators — with the same linear-probing
+collision policy.  Insertion is sequential per probe chain (the numpy
+port of the atomic loop), which is fine at batch scale and keeps the
+semantics identical to the CPU table so either processor can look up the
+other's entries, as the paper requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+
+class OpenAddressingTable:
+    """Linear-probing table keyed by int64 composite keys."""
+
+    def __init__(self, capacity: int, key_width: int) -> None:
+        if capacity <= 0:
+            raise ExecutionError("hash table capacity must be positive")
+        self.capacity = int(capacity)
+        self.key_width = int(key_width)
+        self.keys = np.zeros((self.capacity, self.key_width), dtype=np.int64)
+        self.occupied = np.zeros(self.capacity, dtype=bool)
+        # Accumulator layout mirrors Accumulator: sum, count, min, max.
+        self.acc = np.zeros((self.capacity, 4), dtype=np.float64)
+        self.acc[:, 2] = np.inf
+        self.acc[:, 3] = -np.inf
+        self.size = 0
+
+    def _hash(self, key: np.ndarray) -> int:
+        # FNV-1a over the key words — same function on CPU and GPGPU paths.
+        h = np.uint64(14695981039346656037)
+        with np.errstate(over="ignore"):  # uint64 wrap-around is intended
+            for word in key:
+                h = np.uint64(h ^ np.uint64(np.int64(word).view(np.uint64)))
+                h = np.uint64(h * np.uint64(1099511628211))
+        return int(h % np.uint64(self.capacity))
+
+    def _probe(self, key: np.ndarray) -> int:
+        """Slot of ``key``, claiming a free slot on first insert."""
+        slot = self._hash(key)
+        for __ in range(self.capacity):
+            if not self.occupied[slot]:
+                self.occupied[slot] = True
+                self.keys[slot] = key
+                self.size += 1
+                return slot
+            if np.array_equal(self.keys[slot], key):
+                return slot
+            slot = (slot + 1) % self.capacity
+        raise ExecutionError("hash table is full; resize the pooled table")
+
+    def insert(self, keys: np.ndarray, values: "np.ndarray | None") -> None:
+        """Accumulate a batch of (key row, value) pairs."""
+        keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+        n = len(keys)
+        vals = (
+            np.zeros(n, dtype=np.float64)
+            if values is None
+            else np.asarray(values, dtype=np.float64)
+        )
+        for i in range(n):
+            slot = self._probe(keys[i])
+            self.acc[slot, 0] += vals[i]
+            self.acc[slot, 1] += 1.0
+            if vals[i] < self.acc[slot, 2]:
+                self.acc[slot, 2] = vals[i]
+            if vals[i] > self.acc[slot, 3]:
+                self.acc[slot, 3] = vals[i]
+
+    def lookup(self, key: np.ndarray) -> "np.ndarray | None":
+        """Accumulator row for ``key`` or ``None`` if absent."""
+        key = np.asarray(key, dtype=np.int64)
+        slot = self._hash(key)
+        for __ in range(self.capacity):
+            if not self.occupied[slot]:
+                return None
+            if np.array_equal(self.keys[slot], key):
+                return self.acc[slot]
+            slot = (slot + 1) % self.capacity
+        return None
+
+    def compact(self) -> "tuple[np.ndarray, np.ndarray]":
+        """(keys, accumulators) of occupied slots, sorted by key.
+
+        The paper compacts sparsely populated tables at the end of
+        processing; sorting gives deterministic output for tests.
+        """
+        keys = self.keys[self.occupied]
+        acc = self.acc[self.occupied]
+        if len(keys) == 0:
+            return keys, acc
+        order = np.lexsort(keys.T[::-1])
+        return keys[order], acc[order]

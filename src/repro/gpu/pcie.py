@@ -1,0 +1,29 @@
+"""PCIe bus transfer model (§2.2, §5.2).
+
+A discrete GPGPU is fed over PCIe; a DMA transfer costs a fixed setup
+latency (~10 µs, [43]) plus bytes over the effective bandwidth
+(~8 GB/s for PCIe 3.0 ×16).  The bus is full duplex: host-to-device
+(movein) and device-to-host (moveout) proceed independently, which the
+five-stage pipeline exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PcieBus:
+    """Bandwidth/latency description of the accelerator link."""
+
+    bandwidth_bytes_per_second: float = 8e9
+    dma_latency_seconds: float = 10e-6
+
+    def transfer_seconds(self, size_bytes: float) -> float:
+        """Duration of one DMA transfer of ``size_bytes``."""
+        if size_bytes <= 0:
+            return 0.0
+        return self.dma_latency_seconds + size_bytes / self.bandwidth_bytes_per_second
+
+
+DEFAULT_PCIE = PcieBus()

@@ -1,0 +1,61 @@
+"""Work-efficient Blelloch prefix sum (§5.4, [14]).
+
+SABER's GPGPU selection writes survivors to contiguous memory using a
+scan: the binary selection vector is prefix-summed to obtain each
+survivor's output address.  We implement the classic two-phase
+(up-sweep / down-sweep) Blelloch scan the way a GPGPU would execute it —
+level by level, each level a vectorised (SIMD-like) operation — and use it
+for kernel compaction.  ``np.cumsum`` would give identical results; the
+explicit algorithm exists so the kernel path mirrors the paper (and is
+property-tested against ``cumsum``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def blelloch_scan(values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum via up-sweep/down-sweep.
+
+    Returns an array of the same length where ``out[i] = sum(values[:i])``.
+    """
+    n = len(values)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Pad to the next power of two, as a GPGPU work group would.
+    size = 1 << (int(n - 1).bit_length() if n > 1 else 0)
+    tree = np.zeros(size, dtype=np.int64)
+    tree[:n] = values
+    # Up-sweep: build partial sums level by level (each level is one
+    # data-parallel step over stride-separated lanes).
+    stride = 1
+    while stride < size:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        tree[idx] += tree[idx - stride]
+        stride *= 2
+    # Down-sweep: push prefixes back down.
+    tree[size - 1] = 0
+    stride = size // 2
+    while stride >= 1:
+        idx = np.arange(2 * stride - 1, size, 2 * stride)
+        left = tree[idx - stride].copy()
+        tree[idx - stride] = tree[idx]
+        tree[idx] += left
+        stride //= 2
+    return tree[:n]
+
+
+def compact_indices(mask: np.ndarray) -> np.ndarray:
+    """Output addresses of selected lanes (scan-based compaction).
+
+    Given a boolean selection vector, returns the indices of the selected
+    elements, computed via :func:`blelloch_scan` exactly as the GPGPU
+    kernel derives contiguous write addresses.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    addresses = blelloch_scan(mask.astype(np.int64))
+    total = int(addresses[-1]) + int(mask[-1]) if len(mask) else 0
+    out = np.empty(total, dtype=np.int64)
+    out[addresses[mask]] = np.nonzero(mask)[0]
+    return out

@@ -1,0 +1,7 @@
+"""Calibrated hardware cost models for the simulated server."""
+
+from .specs import DEFAULT_SPEC, HardwareSpec
+from .cpu import CpuModel
+from .gpu import GpuModel
+
+__all__ = ["HardwareSpec", "DEFAULT_SPEC", "CpuModel", "GpuModel"]

@@ -1,0 +1,106 @@
+"""Aggregate functions and their partial-aggregate algebra.
+
+SABER's window fragments force every aggregate into a *partial* form that
+can be (i) computed per fragment, (ii) merged associatively across
+fragments/tasks, and (iii) finalised into the query's output value (§3,
+§5.3).  We carry one uniform accumulator — ``(sum, count, min, max)`` —
+from which all supported functions (``sum``, ``count``, ``avg``, ``min``,
+``max``) finalise.  ``sum``/``count`` are invertible (prefix-sum friendly);
+``min``/``max`` are merged via the sparse-table path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import QueryError
+
+SUPPORTED_FUNCTIONS = ("sum", "count", "avg", "min", "max")
+
+
+@dataclass
+class Accumulator:
+    """Mergeable partial aggregate for one (window, group) cell."""
+
+    total: float = 0.0
+    count: float = 0.0
+    minimum: float = np.inf
+    maximum: float = -np.inf
+
+    def merge(self, other: "Accumulator") -> "Accumulator":
+        return Accumulator(
+            total=self.total + other.total,
+            count=self.count + other.count,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "Accumulator":
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) == 0:
+            return cls()
+        return cls(
+            total=float(values.sum()),
+            count=float(len(values)),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+        )
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregation in a query: ``fn(column) as alias``."""
+
+    function: str
+    column: "str | None"
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if self.function not in SUPPORTED_FUNCTIONS:
+            raise QueryError(
+                f"unsupported aggregate function {self.function!r}; "
+                f"expected one of {SUPPORTED_FUNCTIONS}"
+            )
+        if self.function != "count" and self.column is None:
+            raise QueryError(f"{self.function} requires a column")
+        if not self.alias:
+            column = self.column or "star"
+            object.__setattr__(self, "alias", f"{self.function}_{column}")
+
+    @property
+    def output_type(self) -> str:
+        return "float"
+
+    def finalize(self, acc: Accumulator) -> float:
+        """Output value from a fully merged accumulator."""
+        return finalize(self.function, acc.total, acc.count, acc.minimum, acc.maximum)
+
+
+def finalize(function, total, count, minimum, maximum):
+    """Finalise accumulator fields; vectorised over numpy arrays.
+
+    Empty cells (count == 0) finalise to NaN, matching SQL's NULL for
+    aggregates over empty groups (except ``count`` which is 0).
+    """
+    if function == "count":
+        return count
+    empty = count == 0
+    if function == "sum":
+        value = total
+    elif function == "avg":
+        with np.errstate(divide="ignore", invalid="ignore"):
+            value = total / count if np.ndim(count) else (
+                total / count if count else float("nan")
+            )
+    elif function == "min":
+        value = minimum
+    elif function == "max":
+        value = maximum
+    else:
+        raise QueryError(f"unsupported aggregate function {function!r}")
+    return np.where(empty, np.nan, value) if np.ndim(value) else (
+        float("nan") if empty else value
+    )

@@ -1,0 +1,320 @@
+"""GROUP-BY aggregation γ with optional HAVING (§5.3).
+
+The batch operator function maintains one group table per window fragment.
+On the CPU this is modelled with vectorised grouping (``np.unique`` +
+scatter-adds — the dense equivalent of the paper's pooled hash tables);
+the GPGPU path uses the open-addressing table in :mod:`repro.gpu.hashtable`.
+Fragment group tables are mergeable dictionaries, so windows spanning
+several query tasks are assembled exactly like plain aggregates.
+
+HAVING re-uses the selection machinery: the predicate is evaluated over
+the emitted (timestamp, groups, aggregates) rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import QueryError
+from ..relational.expressions import Predicate
+from ..relational.schema import Attribute, Schema, TIMESTAMP_ATTRIBUTE
+from ..relational.tuples import TupleBatch
+from ..windows.assigner import FragmentState
+from .aggregate_functions import Accumulator, AggregateSpec
+from .base import BatchResult, CostProfile, Operator, StreamSlice
+
+
+@dataclass
+class GroupedWindowAccumulator:
+    """Partial per-group aggregates of one window across fragments."""
+
+    groups: dict[tuple, dict[str, Accumulator]] = field(default_factory=dict)
+    group_counts: dict[tuple, float] = field(default_factory=dict)
+    last_timestamp: int = 0
+
+    def merge(self, other: "GroupedWindowAccumulator") -> "GroupedWindowAccumulator":
+        groups = {k: dict(v) for k, v in self.groups.items()}
+        counts = dict(self.group_counts)
+        for key, columns in other.groups.items():
+            if key in groups:
+                mine = groups[key]
+                for name, acc in columns.items():
+                    mine[name] = mine[name].merge(acc) if name in mine else acc
+            else:
+                groups[key] = dict(columns)
+            counts[key] = counts.get(key, 0.0) + other.group_counts.get(key, 0.0)
+        return GroupedWindowAccumulator(
+            groups=groups,
+            group_counts=counts,
+            last_timestamp=max(self.last_timestamp, other.last_timestamp),
+        )
+
+
+class GroupedAggregation(Operator):
+    """γ: GROUP-BY over one or more key columns, with aggregates.
+
+    Output schema: ``timestamp``, the group columns (input types), then one
+    float column per aggregate.  One output row per (window, group), rows
+    of a window sorted by group key for determinism.
+    """
+
+    def __init__(
+        self,
+        input_schema: Schema,
+        group_columns: "list[str]",
+        specs: "list[AggregateSpec]",
+        having: "Predicate | None" = None,
+        derived_columns: "dict[str, tuple] | None" = None,
+    ) -> None:
+        """``derived_columns`` maps extra integer-valued key names to an
+        ``(expression, type_name)`` pair evaluated per batch — e.g. LRB3's
+        ``segment = position / 5280`` grouping key."""
+        super().__init__(input_schema)
+        if not group_columns:
+            raise QueryError("GROUP-BY needs at least one key column")
+        if not specs:
+            raise QueryError("GROUP-BY needs at least one aggregate function")
+        self.derived_columns = dict(derived_columns or {})
+        for name in group_columns:
+            if name not in input_schema and name not in self.derived_columns:
+                raise QueryError(f"GROUP-BY references unknown column {name!r}")
+        for spec in specs:
+            if spec.column is not None and spec.column not in input_schema:
+                raise QueryError(f"aggregate references unknown column {spec.column!r}")
+        self.group_columns = list(group_columns)
+        self.specs = list(specs)
+        self.having = having
+        attributes = [Attribute(TIMESTAMP_ATTRIBUTE, "long")]
+        attributes += [
+            Attribute(
+                name,
+                self.derived_columns[name][1]
+                if name in self.derived_columns
+                else input_schema.attribute(name).type_name,
+            )
+            for name in self.group_columns
+        ]
+        attributes += [Attribute(s.alias, s.output_type) for s in self.specs]
+        self._output_schema = Schema(
+            tuple(attributes), name=f"{input_schema.name}_groupby"
+        )
+        if having is not None:
+            unknown = having.references() - set(self._output_schema.attribute_names)
+            if unknown:
+                raise QueryError(
+                    f"HAVING references columns not in the output: {sorted(unknown)}"
+                )
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._output_schema
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile(
+            kind="aggregation",
+            aggregate_count=len(self.specs),
+            has_group_by=True,
+            predicate_tree=self.having,
+        )
+
+    # -- grouping helpers ----------------------------------------------------
+
+    def _value_columns(self) -> "list[str]":
+        return sorted({s.column for s in self.specs if s.column is not None})
+
+    def _key_arrays(self, batch: TupleBatch) -> "dict[str, np.ndarray]":
+        """Per-batch group-key columns, evaluating derived keys once."""
+        arrays: dict[str, np.ndarray] = {}
+        for name in self.group_columns:
+            if name in self.derived_columns:
+                expr, __ = self.derived_columns[name]
+                arrays[name] = np.asarray(expr.evaluate(batch)).astype(np.int64)
+            else:
+                arrays[name] = np.asarray(batch.column(name)).astype(np.int64)
+        return arrays
+
+    def _fragment_table(
+        self,
+        batch: TupleBatch,
+        start: int,
+        stop: int,
+        key_arrays: "dict[str, np.ndarray] | None" = None,
+    ) -> "tuple[list[tuple], dict[str, np.ndarray], np.ndarray]":
+        """Per-group accumulators over batch rows ``[start, stop)``.
+
+        Returns (group keys, per-column stacked accumulator arrays, counts)
+        where each column maps to a (groups × 4) array of
+        (sum, count, min, max).
+        """
+        if key_arrays is None:
+            key_arrays = self._key_arrays(batch)
+        keys = np.empty((stop - start, len(self.group_columns)), dtype=np.int64)
+        for j, name in enumerate(self.group_columns):
+            keys[:, j] = key_arrays[name][start:stop]
+        unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+        n_groups = len(unique_keys)
+        counts = np.bincount(inverse, minlength=n_groups).astype(np.float64)
+        tables: dict[str, np.ndarray] = {}
+        for name in self._value_columns():
+            values = np.asarray(batch.column(name)[start:stop], dtype=np.float64)
+            acc = np.empty((n_groups, 4), dtype=np.float64)
+            acc[:, 0] = np.bincount(inverse, weights=values, minlength=n_groups)
+            acc[:, 1] = counts
+            acc[:, 2] = np.full(n_groups, np.inf)
+            np.minimum.at(acc[:, 2], inverse, values)
+            acc[:, 3] = np.full(n_groups, -np.inf)
+            np.maximum.at(acc[:, 3], inverse, values)
+            tables[name] = acc
+        return [tuple(k) for k in unique_keys], tables, counts
+
+    def _emit_rows(
+        self,
+        window_ts: "list[int]",
+        window_groups: "list[tuple[list[tuple], dict[str, np.ndarray], np.ndarray]]",
+    ) -> TupleBatch:
+        """Rows for a sequence of windows' final group tables."""
+        ts_out: list[np.ndarray] = []
+        key_out: list[np.ndarray] = []
+        agg_out: dict[str, list[np.ndarray]] = {s.alias: [] for s in self.specs}
+        for ts, (keys, tables, counts) in zip(window_ts, window_groups):
+            n = len(keys)
+            if n == 0:
+                continue
+            order = np.lexsort(np.asarray(keys, dtype=np.int64).T[::-1])
+            ts_out.append(np.full(n, ts, dtype=np.int64))
+            key_out.append(np.asarray(keys, dtype=np.int64)[order])
+            for spec in self.specs:
+                if spec.column is None:
+                    values = counts[order]
+                else:
+                    acc = tables[spec.column][order]
+                    values = _finalize_array(spec.function, acc)
+                agg_out[spec.alias].append(values)
+        if not ts_out:
+            return TupleBatch.empty(self._output_schema)
+        columns = {TIMESTAMP_ATTRIBUTE: np.concatenate(ts_out)}
+        keys = np.concatenate(key_out)
+        for j, name in enumerate(self.group_columns):
+            columns[name] = keys[:, j]
+        for alias, chunks in agg_out.items():
+            columns[alias] = np.concatenate(chunks)
+        out = TupleBatch.from_columns(self._output_schema, **columns)
+        if self.having is not None:
+            out = out.filter(self.having.evaluate(out))
+        return out
+
+    # -- batch operator function ----------------------------------------------
+
+    def process_batch(self, inputs: "list[StreamSlice]") -> BatchResult:
+        slice_ = self._single_input(inputs)
+        batch, windows = slice_.batch, slice_.windows
+        if len(windows) == 0:
+            return BatchResult(complete=TupleBatch.empty(self._output_schema))
+        ts = batch.timestamps if len(batch) else np.zeros(0, dtype=np.int64)
+        key_arrays = self._key_arrays(batch) if len(batch) else None
+        complete_ts: list[int] = []
+        complete_groups = []
+        partials: dict[int, GroupedWindowAccumulator] = {}
+        closed: list[int] = []
+        total_groups = 0.0
+        # Boundary windows sharing a fragment range share one payload
+        # object (merging never mutates), like the plain aggregation path.
+        shared: dict[tuple[int, int], GroupedWindowAccumulator] = {}
+        for idx in range(len(windows)):
+            start, stop = int(windows.starts[idx]), int(windows.ends[idx])
+            state = int(windows.states[idx])
+            wid = int(windows.window_ids[idx])
+            if stop <= start and state == int(FragmentState.COMPLETE):
+                continue
+            if state != int(FragmentState.COMPLETE):
+                payload = shared.get((start, stop))
+                if payload is not None:
+                    partials[wid] = payload
+                    if state == int(FragmentState.CLOSING):
+                        closed.append(wid)
+                    continue
+            keys, tables, counts = self._fragment_table(
+                batch, start, stop, key_arrays
+            )
+            total_groups += len(keys)
+            last_ts = int(ts[stop - 1]) if stop > start else 0
+            if state == int(FragmentState.COMPLETE):
+                complete_ts.append(last_ts)
+                complete_groups.append((keys, tables, counts))
+            else:
+                groups = {}
+                group_counts = {}
+                for g, key in enumerate(keys):
+                    columns = {}
+                    for name, acc in tables.items():
+                        columns[name] = Accumulator(
+                            total=acc[g, 0],
+                            count=acc[g, 1],
+                            minimum=acc[g, 2],
+                            maximum=acc[g, 3],
+                        )
+                    groups[key] = columns
+                    group_counts[key] = float(counts[g])
+                payload = GroupedWindowAccumulator(
+                    groups=groups, group_counts=group_counts, last_timestamp=last_ts
+                )
+                shared[(start, stop)] = payload
+                partials[wid] = payload
+                if state == int(FragmentState.CLOSING):
+                    closed.append(wid)
+        complete = self._emit_rows(complete_ts, complete_groups)
+        stats = {
+            "selectivity": 1.0,
+            "fragments": float(len(windows)),
+            "groups": total_groups / max(1, len(windows)),
+            "tuples": float(len(batch)),
+        }
+        return BatchResult(complete=complete, partials=partials, closed_ids=closed, stats=stats)
+
+    # -- assembly operator function ---------------------------------------------
+
+    def merge_partials(
+        self, first: GroupedWindowAccumulator, second: GroupedWindowAccumulator
+    ) -> GroupedWindowAccumulator:
+        return first.merge(second)
+
+    def finalize_window(
+        self, window_id: int, payload: GroupedWindowAccumulator
+    ) -> "TupleBatch | None":
+        if not payload.groups:
+            return None
+        keys = list(payload.groups.keys())
+        value_columns = self._value_columns()
+        tables = {
+            name: np.array(
+                [
+                    [
+                        payload.groups[k][name].total,
+                        payload.groups[k][name].count,
+                        payload.groups[k][name].minimum,
+                        payload.groups[k][name].maximum,
+                    ]
+                    if name in payload.groups[k]
+                    else [0.0, 0.0, np.inf, -np.inf]
+                    for k in keys
+                ],
+                dtype=np.float64,
+            )
+            for name in value_columns
+        }
+        counts = np.array([payload.group_counts.get(k, 0.0) for k in keys])
+        return self._emit_rows(
+            [payload.last_timestamp], [(keys, tables, counts)]
+        ) or None
+
+
+def _finalize_array(function: str, acc: np.ndarray) -> np.ndarray:
+    """Vectorised finalisation over a (groups × 4) accumulator block."""
+    from .aggregate_functions import finalize
+
+    return np.asarray(
+        finalize(function, acc[:, 0], acc[:, 1], acc[:, 2], acc[:, 3]),
+        dtype=np.float64,
+    )

@@ -1,0 +1,189 @@
+"""Streaming window θ-join ⋈ (§5.3, Kang et al. [35]).
+
+Two input streams carry their own window definitions; window *i* of the
+left stream is joined with window *i* of the right stream (the aligned
+window pairs produced by identical window clauses, as in SG3's
+``[range 1 slide 1]`` self-join or the synthetic JOIN_r queries).
+
+Within a query task the join of the local fragments is a vectorised
+nested-loop over the cross product.  Windows spanning several tasks use a
+non-trivial assembly decomposition: a fragment payload retains both the
+local join result *and* the raw left/right fragments, and merging payloads
+adds the two cross terms::
+
+    merge((r1, a1, b1), (r2, a2, b2)) =
+        (r1 + r2 + join(a1, b2) + join(a2, b1),  a1 + a2,  b1 + b2)
+
+which is exactly the paper's "more elaborate decompositions must be
+defined" case (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExecutionError, QueryError
+from ..relational.expressions import Predicate
+from ..relational.schema import Schema
+from ..relational.tuples import TupleBatch
+from ..windows.assigner import FragmentState
+from .base import BatchResult, CostProfile, Operator, StreamSlice
+
+
+@dataclass
+class JoinPartial:
+    """Mergeable state of one window pair spanning several tasks."""
+
+    result: TupleBatch
+    left: TupleBatch
+    right: TupleBatch
+    left_done: bool
+    right_done: bool
+
+
+class ThetaJoin(Operator):
+    """θ-join of two windowed streams on an arbitrary predicate.
+
+    The predicate references left columns by name and right columns by
+    their (possibly prefixed) name in the concatenated output schema.
+    """
+
+    arity = 2
+    requires_merged_ready = True
+
+    def __init__(
+        self,
+        left_schema: Schema,
+        right_schema: Schema,
+        predicate: Predicate,
+        right_prefix: str = "r_",
+    ) -> None:
+        super().__init__(left_schema)
+        self.left_schema = left_schema
+        self.right_schema = right_schema
+        self.right_prefix = right_prefix
+        self._output_schema = left_schema.concat(right_schema, other_prefix=right_prefix)
+        unknown = predicate.references() - set(self._output_schema.attribute_names)
+        if unknown:
+            raise QueryError(f"join predicate references unknown columns {sorted(unknown)}")
+        self.predicate = predicate
+
+    @property
+    def output_schema(self) -> Schema:
+        return self._output_schema
+
+    def cost_profile(self) -> CostProfile:
+        return CostProfile(
+            kind="join",
+            join_predicate_count=self.predicate.predicate_count(),
+        )
+
+    # -- pairwise join core ---------------------------------------------------
+
+    def join_pairs(self, left: TupleBatch, right: TupleBatch) -> TupleBatch:
+        """Vectorised nested-loop join of two tuple sequences."""
+        nl, nr = len(left), len(right)
+        if nl == 0 or nr == 0:
+            return TupleBatch.empty(self._output_schema)
+        li = np.repeat(np.arange(nl), nr)
+        ri = np.tile(np.arange(nr), nl)
+        pairs = self._combine(left.take(li), right.take(ri))
+        mask = self.predicate.evaluate(pairs)
+        return pairs.filter(mask)
+
+    def _combine(self, left: TupleBatch, right: TupleBatch) -> TupleBatch:
+        """Row-aligned concatenation into the output schema."""
+        columns = {}
+        taken = set()
+        for name in self.left_schema.attribute_names:
+            columns[name] = left.column(name)
+            taken.add(name)
+        for name in self.right_schema.attribute_names:
+            out_name = name if name not in taken else self.right_prefix + name
+            columns[out_name] = right.column(name)
+        return TupleBatch.from_columns(self._output_schema, **columns)
+
+    # -- batch operator function ------------------------------------------------
+
+    def process_batch(self, inputs: "list[StreamSlice]") -> BatchResult:
+        if len(inputs) != 2:
+            raise ExecutionError("ThetaJoin expects exactly two inputs")
+        left, right = inputs
+        lw, rw = left.windows, right.windows
+        l_index = {int(w): i for i, w in enumerate(lw.window_ids)}
+        r_index = {int(w): i for i, w in enumerate(rw.window_ids)}
+        window_ids = sorted(set(l_index) | set(r_index))
+
+        complete_chunks: list[TupleBatch] = []
+        partials: dict[int, JoinPartial] = {}
+        closed: list[int] = []
+        total_pairs = 0.0
+        matched = 0.0
+        for wid in window_ids:
+            l_frag, l_done, l_final = self._fragment(left, lw, l_index.get(wid))
+            r_frag, r_done, r_final = self._fragment(right, rw, r_index.get(wid))
+            local = self.join_pairs(l_frag, r_frag)
+            total_pairs += len(l_frag) * len(r_frag)
+            matched += len(local)
+            if l_final and r_final:
+                complete_chunks.append(local)
+            else:
+                partials[wid] = JoinPartial(
+                    result=local,
+                    left=l_frag,
+                    right=r_frag,
+                    left_done=l_done,
+                    right_done=r_done,
+                )
+                if l_done and r_done:
+                    closed.append(wid)
+        complete = (
+            TupleBatch.concat(complete_chunks)
+            if complete_chunks
+            else TupleBatch.empty(self._output_schema)
+        )
+        selectivity = matched / total_pairs if total_pairs else 0.0
+        stats = {
+            "selectivity": selectivity,
+            "pairs": total_pairs,
+            "tuples": float(len(left.batch) + len(right.batch)),
+            "fragments": float(len(window_ids)),
+        }
+        return BatchResult(complete=complete, partials=partials, closed_ids=closed, stats=stats)
+
+    def _fragment(
+        self, slice_: StreamSlice, windows, index: "int | None"
+    ) -> "tuple[TupleBatch, bool, bool]":
+        """(fragment rows, closes-here-or-earlier, COMPLETE-locally)."""
+        schema = slice_.batch.schema
+        if index is None:
+            # The window has no presence in this stream's batch; treat the
+            # missing side as done only when its stream has moved past it —
+            # conservatively: not done (the result stage merges later tasks).
+            return TupleBatch.empty(schema), False, False
+        start, stop = int(windows.starts[index]), int(windows.ends[index])
+        state = int(windows.states[index])
+        frag = slice_.batch.slice(start, stop)
+        done = state in (int(FragmentState.COMPLETE), int(FragmentState.CLOSING))
+        return frag, done, state == int(FragmentState.COMPLETE)
+
+    # -- assembly operator function ------------------------------------------------
+
+    def merge_partials(self, first: JoinPartial, second: JoinPartial) -> JoinPartial:
+        cross_1 = self.join_pairs(first.left, second.right)
+        cross_2 = self.join_pairs(second.left, first.right)
+        return JoinPartial(
+            result=TupleBatch.concat([first.result, second.result, cross_1, cross_2]),
+            left=TupleBatch.concat([first.left, second.left]),
+            right=TupleBatch.concat([first.right, second.right]),
+            left_done=first.left_done or second.left_done,
+            right_done=first.right_done or second.right_done,
+        )
+
+    def finalize_window(self, window_id: int, payload: JoinPartial) -> "TupleBatch | None":
+        return payload.result if len(payload.result) else None
+
+    def window_ready(self, payload: JoinPartial) -> bool:
+        return payload.left_done and payload.right_done

@@ -1,0 +1,41 @@
+"""Relational substrate: schemas, tuple batches, expressions, buffers."""
+
+from .schema import Attribute, Schema, TIMESTAMP_ATTRIBUTE
+from .tuples import TupleBatch
+from .buffer import CircularTupleBuffer
+from .expressions import (
+    And,
+    Arithmetic,
+    Column,
+    Comparison,
+    Constant,
+    Expression,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    col,
+    conjunction,
+    disjunction,
+)
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "TIMESTAMP_ATTRIBUTE",
+    "TupleBatch",
+    "CircularTupleBuffer",
+    "Expression",
+    "Column",
+    "Constant",
+    "Arithmetic",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "col",
+    "conjunction",
+    "disjunction",
+]

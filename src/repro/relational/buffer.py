@@ -1,0 +1,121 @@
+"""Circular input buffers (§4.1).
+
+SABER keeps one circular byte buffer per input stream and per query.  Only
+the dispatching worker inserts; executing workers have read-only access via
+``(start, end)`` tuple-index ranges carried by query tasks, and data is
+released by moving the buffer's start pointer to a task's *free pointer*
+once that task's results have been processed.
+
+We implement the same pointer discipline over a numpy byte array.  Indices
+are expressed in **tuples** (the schema has a fixed tuple width) and grow
+monotonically; physical positions are the index modulo capacity, exactly
+like the paper's identifier-modulo-slots result buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import BufferError_
+from .schema import Schema
+from .tuples import TupleBatch
+
+
+class CircularTupleBuffer:
+    """Fixed-capacity circular buffer of serialised tuples.
+
+    Logical positions (``head``, ``tail``) are monotonically increasing
+    tuple counts; the physical slot of logical position ``i`` is
+    ``i % capacity``.  ``head`` is the oldest retained tuple (the paper's
+    *start pointer*), ``tail`` is one past the newest (*end pointer*).
+    """
+
+    def __init__(self, schema: Schema, capacity_tuples: int) -> None:
+        if capacity_tuples <= 0:
+            raise BufferError_("buffer capacity must be positive")
+        self.schema = schema
+        self.capacity = int(capacity_tuples)
+        self._store = np.zeros(self.capacity, dtype=schema.dtype)
+        self.head = 0  # start pointer (oldest retained tuple)
+        self.tail = 0  # end pointer (next insert position)
+
+    # -- state -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.tail - self.head
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self) * self.schema.tuple_size
+
+    # -- producer side -------------------------------------------------------
+
+    def insert(self, batch: TupleBatch) -> int:
+        """Append a batch; returns the logical index of its first tuple.
+
+        Raises :class:`BufferError_` on overflow — the engine applies
+        backpressure instead of silently dropping data.
+        """
+        if batch.data.dtype != self.schema.dtype:
+            raise BufferError_(
+                f"batch schema {batch.schema.name!r} does not match buffer "
+                f"schema {self.schema.name!r}"
+            )
+        n = len(batch)
+        if n > self.free_slots:
+            raise BufferError_(
+                f"circular buffer overflow: inserting {n} tuples with only "
+                f"{self.free_slots} free slots (capacity {self.capacity})"
+            )
+        start = self.tail
+        first = start % self.capacity
+        end = first + n
+        if end <= self.capacity:
+            self._store[first:end] = batch.data
+        else:
+            split = self.capacity - first
+            self._store[first:] = batch.data[:split]
+            self._store[: end - self.capacity] = batch.data[split:]
+        self.tail += n
+        return start
+
+    # -- consumer side -------------------------------------------------------
+
+    def read(self, start: int, stop: int) -> TupleBatch:
+        """Read-only copy of logical range ``[start, stop)``.
+
+        The range must lie within the retained region ``[head, tail)``.
+        """
+        if start < self.head or stop > self.tail or start > stop:
+            raise BufferError_(
+                f"read range [{start}, {stop}) outside retained "
+                f"[{self.head}, {self.tail})"
+            )
+        n = stop - start
+        first = start % self.capacity
+        end = first + n
+        if end <= self.capacity:
+            data = self._store[first:end].copy()
+        else:
+            data = np.concatenate(
+                [self._store[first:], self._store[: end - self.capacity]]
+            )
+        return TupleBatch(self.schema, data)
+
+    def release(self, free_pointer: int) -> None:
+        """Advance the start pointer: data before ``free_pointer`` is gone.
+
+        Mirrors the result stage moving the buffer start to a completed
+        task's free pointer.  Releasing backwards is a no-op (results can
+        finish out of order; only the furthest pointer matters).
+        """
+        if free_pointer > self.tail:
+            raise BufferError_(
+                f"cannot release past end pointer ({free_pointer} > {self.tail})"
+            )
+        if free_pointer > self.head:
+            self.head = free_pointer

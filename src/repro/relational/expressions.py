@@ -1,0 +1,316 @@
+"""Expression trees over stream tuples.
+
+Queries reference tuple attributes through small expression trees that can
+be evaluated vectorised over a :class:`~repro.relational.tuples.TupleBatch`.
+The same tree drives both execution *and* the hardware cost models:
+
+* :meth:`Expression.operation_count` — number of arithmetic operations per
+  tuple (the CPU charges each; the paper's PROJ_m queries scale with this);
+* :meth:`Predicate.predicate_count` — number of atomic comparisons (the
+  paper's SELECT_n queries scale with this);
+* :meth:`Predicate.expected_evaluations` — comparisons evaluated per tuple
+  *with* short-circuiting given a selectivity, which differs between the
+  CPU (short-circuits) and the SIMD GPGPU (evaluates all lanes) and is the
+  mechanism behind the Fig. 16 adaptivity experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExpressionError
+from .tuples import TupleBatch
+
+_ARITH = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+}
+
+_COMPARE = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+class Expression:
+    """Base class for value-producing expressions."""
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        raise NotImplementedError
+
+    def operation_count(self) -> int:
+        """Arithmetic operations charged per tuple by the cost model."""
+        return 0
+
+    def references(self) -> set[str]:
+        """Attribute names this expression reads."""
+        return set()
+
+    # Operator sugar so queries read naturally: col("a") + 1 > col("b").
+    def __add__(self, other):
+        return Arithmetic("+", self, _lift(other))
+
+    def __sub__(self, other):
+        return Arithmetic("-", self, _lift(other))
+
+    def __mul__(self, other):
+        return Arithmetic("*", self, _lift(other))
+
+    def __truediv__(self, other):
+        return Arithmetic("/", self, _lift(other))
+
+    def __mod__(self, other):
+        return Arithmetic("%", self, _lift(other))
+
+    def __lt__(self, other):
+        return Comparison("<", self, _lift(other))
+
+    def __le__(self, other):
+        return Comparison("<=", self, _lift(other))
+
+    def __gt__(self, other):
+        return Comparison(">", self, _lift(other))
+
+    def __ge__(self, other):
+        return Comparison(">=", self, _lift(other))
+
+    def eq(self, other):
+        """Equality predicate (``==`` is kept for object identity)."""
+        return Comparison("==", self, _lift(other))
+
+    def ne(self, other):
+        return Comparison("!=", self, _lift(other))
+
+
+def _lift(value) -> Expression:
+    """Wrap Python scalars as :class:`Constant`; pass expressions through."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return Constant(value)
+    raise ExpressionError(f"cannot use {value!r} in an expression")
+
+
+@dataclass(frozen=True)
+class Column(Expression):
+    """Reference to a tuple attribute by name."""
+
+    name: str
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        return batch.column(self.name)
+
+    def references(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+def col(name: str) -> Column:
+    """Shorthand constructor for :class:`Column`."""
+    return Column(name)
+
+
+@dataclass(frozen=True)
+class Constant(Expression):
+    """A literal value broadcast over the batch."""
+
+    value: float
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        return np.asarray(self.value)
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic over two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH:
+            raise ExpressionError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        return _ARITH[self.op](self.left.evaluate(batch), self.right.evaluate(batch))
+
+    def operation_count(self) -> int:
+        return 1 + self.left.operation_count() + self.right.operation_count()
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Predicate:
+    """Base class for boolean-valued expressions (selection predicates)."""
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        raise NotImplementedError
+
+    def predicate_count(self) -> int:
+        """Number of atomic comparisons in the tree."""
+        raise NotImplementedError
+
+    def expected_evaluations(self, selectivity: float) -> float:
+        """Comparisons evaluated per tuple with CPU short-circuiting.
+
+        ``selectivity`` is the fraction of tuples for which the left-most
+        atomic predicate holds; the default model assumes the remaining
+        branches are only evaluated for those tuples (the structure of the
+        paper's Fig. 16 query ``p1 and (p2 or ... or p500)``).
+        """
+        raise NotImplementedError
+
+    def references(self) -> set[str]:
+        return set()
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """Atomic comparison between two value expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARE:
+            raise ExpressionError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        result = _COMPARE[self.op](
+            self.left.evaluate(batch), self.right.evaluate(batch)
+        )
+        return np.broadcast_to(result, (len(batch),)).copy() if result.ndim == 0 else result
+
+    def predicate_count(self) -> int:
+        return 1
+
+    def expected_evaluations(self, selectivity: float) -> float:
+        return 1.0
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        return self.left.evaluate(batch) & self.right.evaluate(batch)
+
+    def predicate_count(self) -> int:
+        return self.left.predicate_count() + self.right.predicate_count()
+
+    def expected_evaluations(self, selectivity: float) -> float:
+        # Short-circuit AND: the right side runs only when the left passes.
+        left = self.left.expected_evaluations(selectivity)
+        right = self.right.expected_evaluations(selectivity)
+        return left + selectivity * right
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        return self.left.evaluate(batch) | self.right.evaluate(batch)
+
+    def predicate_count(self) -> int:
+        return self.left.predicate_count() + self.right.predicate_count()
+
+    def expected_evaluations(self, selectivity: float) -> float:
+        # Short-circuit OR: the right side runs only when the left fails.
+        left = self.left.expected_evaluations(selectivity)
+        right = self.right.expected_evaluations(selectivity)
+        return left + (1.0 - selectivity) * right
+
+    def references(self) -> set[str]:
+        return self.left.references() | self.right.references()
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        return ~self.inner.evaluate(batch)
+
+    def predicate_count(self) -> int:
+        return self.inner.predicate_count()
+
+    def expected_evaluations(self, selectivity: float) -> float:
+        return self.inner.expected_evaluations(selectivity)
+
+    def references(self) -> set[str]:
+        return self.inner.references()
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Always-true predicate (no cost): useful as a neutral element."""
+
+    def evaluate(self, batch: TupleBatch) -> np.ndarray:
+        return np.ones(len(batch), dtype=bool)
+
+    def predicate_count(self) -> int:
+        return 0
+
+    def expected_evaluations(self, selectivity: float) -> float:
+        return 0.0
+
+
+def conjunction(predicates: "list[Predicate]") -> Predicate:
+    """Left-deep AND of a predicate list (empty list is always-true)."""
+    if not predicates:
+        return TruePredicate()
+    result = predicates[0]
+    for p in predicates[1:]:
+        result = And(result, p)
+    return result
+
+
+def disjunction(predicates: "list[Predicate]") -> Predicate:
+    """Left-deep OR of a predicate list (empty list is always-true)."""
+    if not predicates:
+        return TruePredicate()
+    result = predicates[0]
+    for p in predicates[1:]:
+        result = Or(result, p)
+    return result

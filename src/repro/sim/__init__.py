@@ -1,0 +1,6 @@
+"""Discrete-event simulation substrate."""
+
+from .loop import EventLoop
+from .measurements import Measurements, TaskRecord
+
+__all__ = ["EventLoop", "Measurements", "TaskRecord"]

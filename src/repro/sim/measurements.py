@@ -1,0 +1,135 @@
+"""Virtual-time performance accounting.
+
+Collects the quantities the paper reports: processing throughput
+(bytes/s and tuples/s), end-to-end latency, per-processor contribution
+splits (Fig. 7), and time series of throughput (Fig. 16).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class TaskRecord:
+    """One completed query task's accounting entry."""
+
+    query: str
+    processor: str
+    created: float
+    completed: float
+    input_bytes: int
+    input_tuples: int
+
+
+@dataclass
+class Measurements:
+    """Accumulates task records and derives the paper's metrics."""
+
+    records: "list[TaskRecord]" = field(default_factory=list)
+    latencies: "list[float]" = field(default_factory=list)
+
+    def record_task(self, record: TaskRecord) -> None:
+        self.records.append(record)
+
+    def record_latency(self, emit_time: float, data_time: float) -> None:
+        self.latencies.append(emit_time - data_time)
+
+    # -- throughput -----------------------------------------------------------
+
+    def _steady(
+        self, warmup_fraction: float, drain_fraction: float = 0.1
+    ) -> "list[TaskRecord]":
+        """Records completing in the steady window.
+
+        Both the warm-up ramp *and* the drain tail are excluded: once the
+        dispatcher stops, stragglers on the slower processor would
+        otherwise dominate short runs while the other processor idles.
+        """
+        if not self.records:
+            return []
+        completions = sorted(r.completed for r in self.records)
+        lo = completions[int(len(completions) * warmup_fraction)]
+        hi_index = min(
+            len(completions) - 1,
+            int(len(completions) * (1.0 - drain_fraction)),
+        )
+        hi = completions[hi_index]
+        if hi <= lo:
+            return [r for r in self.records if r.completed >= lo]
+        return [r for r in self.records if lo <= r.completed <= hi]
+
+    def throughput_bytes(self, warmup_fraction: float = 0.2) -> float:
+        """Steady-state processing throughput in bytes/second."""
+        steady = self._steady(warmup_fraction)
+        if len(steady) < 2:
+            return 0.0
+        start = min(r.completed for r in steady)
+        end = max(r.completed for r in steady)
+        if end <= start:
+            return 0.0
+        return sum(r.input_bytes for r in steady) / (end - start)
+
+    def throughput_tuples(self, warmup_fraction: float = 0.2) -> float:
+        steady = self._steady(warmup_fraction)
+        if len(steady) < 2:
+            return 0.0
+        start = min(r.completed for r in steady)
+        end = max(r.completed for r in steady)
+        if end <= start:
+            return 0.0
+        return sum(r.input_tuples for r in steady) / (end - start)
+
+    def processor_share(self, warmup_fraction: float = 0.2) -> "dict[str, float]":
+        """Fraction of processed bytes per processor (Fig. 7 split)."""
+        steady = self._steady(warmup_fraction)
+        total = sum(r.input_bytes for r in steady)
+        if not total:
+            return {}
+        shares: dict[str, float] = {}
+        for r in steady:
+            shares[r.processor] = shares.get(r.processor, 0.0) + r.input_bytes
+        return {p: b / total for p, b in shares.items()}
+
+    def query_throughput_bytes(self, query: str, warmup_fraction: float = 0.2) -> float:
+        steady = [r for r in self._steady(warmup_fraction) if r.query == query]
+        if len(steady) < 2:
+            return 0.0
+        start = min(r.completed for r in steady)
+        end = max(r.completed for r in steady)
+        if end <= start:
+            return 0.0
+        return sum(r.input_bytes for r in steady) / (end - start)
+
+    # -- latency ---------------------------------------------------------------
+
+    def latency_mean(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        return float(np.percentile(self.latencies, q)) if self.latencies else 0.0
+
+    # -- time series (Fig. 16) ---------------------------------------------------
+
+    def throughput_series(
+        self, bucket_seconds: float, processor: "str | None" = None
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """(bucket start times, bytes/s per bucket), optionally one processor."""
+        records = [
+            r for r in self.records if processor is None or r.processor == processor
+        ]
+        if not records:
+            return np.zeros(0), np.zeros(0)
+        end = max(r.completed for r in self.records)
+        edges = np.arange(0.0, end + bucket_seconds, bucket_seconds)
+        totals = np.zeros(len(edges) - 1)
+        times = sorted((r.completed, r.input_bytes) for r in records)
+        completed = [t for t, __ in times]
+        for i in range(len(edges) - 1):
+            lo = bisect.bisect_left(completed, edges[i])
+            hi = bisect.bisect_left(completed, edges[i + 1])
+            totals[i] = sum(b for __, b in times[lo:hi]) / bucket_seconds
+        return edges[:-1], totals

@@ -1,0 +1,30 @@
+"""Window semantics: definitions, boundary assignment, incremental panes."""
+
+from .definition import WindowDefinition, WindowMode
+from .assigner import (
+    FragmentState,
+    WindowSet,
+    assign_count_windows,
+    assign_time_windows,
+    assign_windows,
+)
+from .panes import (
+    PrefixRangeAggregator,
+    SparseTableRangeAggregator,
+    pane_boundaries,
+    pane_partials,
+)
+
+__all__ = [
+    "WindowDefinition",
+    "WindowMode",
+    "FragmentState",
+    "WindowSet",
+    "assign_count_windows",
+    "assign_time_windows",
+    "assign_windows",
+    "PrefixRangeAggregator",
+    "SparseTableRangeAggregator",
+    "pane_boundaries",
+    "pane_partials",
+]

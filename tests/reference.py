@@ -1,0 +1,174 @@
+"""Naive reference implementations used as oracles in integration tests.
+
+These evaluate queries window-by-window with no batching, no fragments
+and no incremental computation — the simplest possible semantics — so
+that the engine's fragment/assembly machinery can be checked against
+first principles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.relational.tuples import TupleBatch
+from repro.windows.definition import WindowDefinition
+
+
+def window_ranges(
+    window: WindowDefinition, data: TupleBatch, closed_only: bool = True
+) -> "list[tuple[int, int, int]]":
+    """(window id, start row, end row) for windows over a finite stream.
+
+    ``closed_only`` keeps windows whose end boundary lies within the
+    data (the ones a streaming engine will actually have emitted).
+    """
+    n = len(data)
+    out = []
+    if window.is_count_based:
+        wid = 0
+        while True:
+            start = wid * window.slide
+            end = start + window.size
+            if start >= n:
+                break
+            if closed_only and end > n:
+                break
+            out.append((wid, start, min(end, n)))
+            wid += 1
+        return out
+    ts = np.asarray(data.timestamps)
+    last = int(ts[-1]) if n else -1
+    wid = 0
+    while True:
+        w_start = wid * window.slide
+        w_end = w_start + window.size
+        if w_start > last:
+            break
+        if closed_only and w_end > last:
+            # A streaming engine cannot close this window yet: tuples with
+            # timestamps inside it may still arrive.
+            break
+        start = int(np.searchsorted(ts, w_start, side="left"))
+        end = int(np.searchsorted(ts, w_end, side="left"))
+        out.append((wid, start, end))
+        wid += 1
+    return out
+
+
+def sliding_aggregate(
+    window: WindowDefinition,
+    data: TupleBatch,
+    column: str,
+    function: str,
+) -> "list[tuple[int, float]]":
+    """Per-closed-window aggregate values: (last timestamp, value)."""
+    values = np.asarray(data.column(column), dtype=np.float64)
+    ts = np.asarray(data.timestamps)
+    out = []
+    for __, start, end in window_ranges(window, data):
+        if end <= start:
+            continue
+        chunk = values[start:end]
+        if function == "sum":
+            v = float(chunk.sum())
+        elif function == "count":
+            v = float(len(chunk))
+        elif function == "avg":
+            v = float(chunk.mean())
+        elif function == "min":
+            v = float(chunk.min())
+        elif function == "max":
+            v = float(chunk.max())
+        else:
+            raise ValueError(function)
+        out.append((int(ts[end - 1]), v))
+    return out
+
+
+def grouped_aggregate(
+    window: WindowDefinition,
+    data: TupleBatch,
+    group_columns: "list[str]",
+    column: "str | None",
+    function: str,
+) -> "list[tuple[int, tuple, float]]":
+    """Per-(closed window, group): (last ts, group key, value), key-sorted."""
+    ts = np.asarray(data.timestamps)
+    keys = np.column_stack(
+        [np.asarray(data.column(c), dtype=np.int64) for c in group_columns]
+    )
+    values = (
+        np.asarray(data.column(column), dtype=np.float64)
+        if column is not None
+        else np.zeros(len(data))
+    )
+    out = []
+    for __, start, end in window_ranges(window, data):
+        if end <= start:
+            continue
+        k = keys[start:end]
+        v = values[start:end]
+        uniq, inverse = np.unique(k, axis=0, return_inverse=True)
+        last_ts = int(ts[end - 1])
+        for g in range(len(uniq)):
+            sel = v[inverse == g]
+            if function == "sum":
+                value = float(sel.sum())
+            elif function == "count":
+                value = float(len(sel))
+            elif function == "avg":
+                value = float(sel.mean())
+            elif function == "min":
+                value = float(sel.min())
+            elif function == "max":
+                value = float(sel.max())
+            else:
+                raise ValueError(function)
+            out.append((last_ts, tuple(uniq[g]), value))
+    return out
+
+
+def window_join(
+    window: WindowDefinition,
+    left: TupleBatch,
+    right: TupleBatch,
+    predicate,
+    combine,
+) -> "list[tuple]":
+    """All matching pairs per aligned closed window pair, in window order.
+
+    ``predicate(l_row, r_row) -> bool`` over namedtuple-ish row dicts;
+    ``combine(l_row, r_row) -> tuple`` builds the output row.
+    """
+    l_ranges = {w: (s, e) for w, s, e in window_ranges(window, left)}
+    r_ranges = {w: (s, e) for w, s, e in window_ranges(window, right)}
+    l_rows = left.to_rows()
+    r_rows = right.to_rows()
+    l_names = left.schema.attribute_names
+    r_names = right.schema.attribute_names
+    out = []
+    for wid in sorted(set(l_ranges) & set(r_ranges)):
+        ls, le = l_ranges[wid]
+        rs, re = r_ranges[wid]
+        for i in range(ls, le):
+            for j in range(rs, re):
+                lrow = dict(zip(l_names, l_rows[i]))
+                rrow = dict(zip(r_names, r_rows[j]))
+                if predicate(lrow, rrow):
+                    out.append(combine(lrow, rrow))
+    return out
+
+
+def collect(source, total: int, chunk: int) -> TupleBatch:
+    """Materialise ``total`` tuples drawing ``chunk`` at a time.
+
+    Chunked draws must match the engine's dispatcher chunking so that
+    RNG-backed sources produce identical data.
+    """
+    chunks = []
+    remaining = total
+    while remaining > 0:
+        n = min(chunk, remaining)
+        chunks.append(source.next_tuples(n))
+        remaining -= n
+    return TupleBatch.concat(chunks)

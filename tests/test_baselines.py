@@ -1,0 +1,119 @@
+"""Unit tests for the Esper-like, Spark-like and MonetDB-like baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.columnar import ColumnarEngine
+from repro.baselines.esperlike import EsperLikeEngine
+from repro.baselines.sparklike import SparkLikeEngine
+from repro.errors import SimulationError
+from repro.hardware.specs import DEFAULT_SPEC
+from repro.workloads.synthetic import SyntheticSource, agg_query, select_query
+
+
+class TestEsperLike:
+    def test_no_parallel_speedup_two_orders_below_saber(self):
+        engine = EsperLikeEngine()
+        q = select_query(2)
+        report = engine.run(q, [SyntheticSource(seed=1)], total_tuples=20_000)
+        # Well under 100 MB/s while SABER reaches GB/s on this query.
+        assert report.throughput_bytes < 100e6
+        assert report.throughput_bytes > 1e6
+
+    def test_results_match_saber(self):
+        from repro.core.engine import SaberConfig, SaberEngine
+        from repro.workloads.synthetic import TUPLE_SIZE
+
+        q = select_query(4, pass_rate=0.4)
+        esper = EsperLikeEngine().run(
+            q, [SyntheticSource(seed=3)], total_tuples=2048,
+            chunk_tuples=256, collect_output=True,
+        )
+        q2 = select_query(4, pass_rate=0.4)
+        saber = SaberEngine(
+            SaberConfig(task_size_bytes=256 * TUPLE_SIZE, cpu_workers=2)
+        )
+        saber.add_query(q2, [SyntheticSource(seed=3)])
+        out = saber.run(tasks_per_query=8).outputs[q2.name]
+        assert np.array_equal(esper.output.data, out.data)
+
+    def test_aggregation_runs(self):
+        report = EsperLikeEngine().run(
+            agg_query("sum"), [SyntheticSource(seed=1)], total_tuples=8192,
+            collect_output=True,
+        )
+        assert report.output is not None and len(report.output) > 0
+
+
+class TestSparkLike:
+    def test_fig1_throughput_rises_with_slide(self):
+        engine = SparkLikeEngine()
+        slides = [0.5e6, 1e6, 3e6, 6e6, 9e6]
+        rates = [engine.sustainable_throughput(s, 5.0) for s in slides]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+        # Fig. 1 anchors: ~0.4 M tuples/s at 0.5 M slide, ~1.7 M at 9 M.
+        assert rates[0] == pytest.approx(0.4e6, rel=0.3)
+        assert rates[-1] == pytest.approx(1.7e6, rel=0.3)
+
+    def test_simulation_converges_to_closed_form(self):
+        engine = SparkLikeEngine()
+        closed = engine.sustainable_throughput(2e6, 5.0)
+        simulated = engine.simulate(2e6, 5.0, batches=500)
+        assert simulated == pytest.approx(closed, rel=0.1)
+
+    def test_tumbling_throughput_bounded_by_overhead(self):
+        engine = SparkLikeEngine()
+        # batch interval shorter than the scheduling overhead: unusable.
+        assert engine.tumbling_throughput(1e6, 0.05) == 0.0
+        rate = engine.tumbling_throughput(1e9, 0.5)
+        assert 0 < rate < DEFAULT_SPEC.spark_tumbling_process_rate
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            SparkLikeEngine().sustainable_throughput(0, 5.0)
+
+
+class TestColumnar:
+    def make_columns(self, n=2048, selectivity=0.01, seed=0):
+        # Band predicate left < right with ~`selectivity` match rate.
+        rng = np.random.default_rng(seed)
+        left = rng.integers(0, 1_000_000, n)
+        threshold = int(1_000_000 * selectivity * 2)
+        right = rng.integers(0, threshold, n)
+        return left, right
+
+    def test_theta_join_matches_numpy(self):
+        engine = ColumnarEngine(threads=4)
+        left, right = self.make_columns(256)
+        result = engine.theta_join(left, right)
+        expected = np.argwhere(left[:, None] < right[None, :])
+        assert result.rows == len(expected)
+
+    def test_equi_join_matches_naive(self):
+        engine = ColumnarEngine(threads=4)
+        rng = np.random.default_rng(1)
+        left = rng.integers(0, 50, 300)
+        right = rng.integers(0, 50, 200)
+        result = engine.equi_join(left, right)
+        naive = sum(int((right == v).sum()) for v in left)
+        assert result.rows == naive
+        # every reported pair really matches
+        assert (left[result.matches[:, 0]] == right[result.matches[:, 1]]).all()
+
+    def test_select_star_reconstruction_costs_more(self):
+        engine = ColumnarEngine()
+        left, right = self.make_columns(1024)
+        plain = engine.theta_join(left, right, select_all_columns=0)
+        wide = engine.theta_join(left, right, select_all_columns=14)
+        assert wide.elapsed_seconds > plain.elapsed_seconds
+
+    def test_equi_join_faster_than_theta(self):
+        engine = ColumnarEngine()
+        left, right = self.make_columns(2048)
+        theta = engine.theta_join(left, right)
+        equi = engine.equi_join(left, right)
+        assert equi.elapsed_seconds < theta.elapsed_seconds
+
+    def test_invalid_threads(self):
+        with pytest.raises(SimulationError):
+            ColumnarEngine(threads=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the circular input buffer (§4.1 pointer discipline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BufferError_
+from repro.relational.buffer import CircularTupleBuffer
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+
+SCHEMA = Schema.parse("timestamp:long, v:int")
+
+
+def batch(values):
+    values = list(values)
+    return TupleBatch.from_columns(
+        SCHEMA,
+        timestamp=np.arange(len(values), dtype=np.int64),
+        v=np.asarray(values, dtype=np.int32),
+    )
+
+
+class TestBasics:
+    def test_insert_returns_logical_start(self):
+        buf = CircularTupleBuffer(SCHEMA, 8)
+        assert buf.insert(batch([1, 2])) == 0
+        assert buf.insert(batch([3])) == 2
+        assert len(buf) == 3
+
+    def test_read_returns_inserted_data(self):
+        buf = CircularTupleBuffer(SCHEMA, 8)
+        buf.insert(batch([1, 2, 3]))
+        out = buf.read(1, 3)
+        assert np.array_equal(out.column("v"), [2, 3])
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(BufferError_):
+            CircularTupleBuffer(SCHEMA, 0)
+
+    def test_overflow_raises(self):
+        buf = CircularTupleBuffer(SCHEMA, 4)
+        buf.insert(batch([1, 2, 3]))
+        with pytest.raises(BufferError_):
+            buf.insert(batch([4, 5]))
+
+    def test_size_bytes(self):
+        buf = CircularTupleBuffer(SCHEMA, 4)
+        buf.insert(batch([1, 2]))
+        assert buf.size_bytes == 2 * SCHEMA.tuple_size
+
+
+class TestWrapAround:
+    def test_insert_wraps_physically(self):
+        buf = CircularTupleBuffer(SCHEMA, 4)
+        buf.insert(batch([1, 2, 3]))
+        buf.release(2)
+        buf.insert(batch([4, 5, 6]))  # wraps
+        out = buf.read(2, 6)
+        assert np.array_equal(out.column("v"), [3, 4, 5, 6])
+
+    def test_long_fifo_stream(self):
+        buf = CircularTupleBuffer(SCHEMA, 16)
+        logical = 0
+        expected = []
+        for round_ in range(20):
+            data = list(range(round_ * 3, round_ * 3 + 3))
+            buf.insert(batch(data))
+            expected.extend(data)
+            logical += 3
+            if round_ % 2:
+                out = buf.read(logical - 6, logical)
+                assert list(out.column("v")) == expected[-6:]
+                buf.release(logical - 6)
+
+
+class TestPointers:
+    def test_read_before_head_raises(self):
+        buf = CircularTupleBuffer(SCHEMA, 8)
+        buf.insert(batch([1, 2, 3]))
+        buf.release(2)
+        with pytest.raises(BufferError_):
+            buf.read(0, 2)
+
+    def test_read_past_tail_raises(self):
+        buf = CircularTupleBuffer(SCHEMA, 8)
+        buf.insert(batch([1]))
+        with pytest.raises(BufferError_):
+            buf.read(0, 2)
+
+    def test_release_backwards_is_noop(self):
+        buf = CircularTupleBuffer(SCHEMA, 8)
+        buf.insert(batch([1, 2, 3]))
+        buf.release(2)
+        buf.release(1)  # out-of-order result completion
+        assert buf.head == 2
+
+    def test_release_past_tail_raises(self):
+        buf = CircularTupleBuffer(SCHEMA, 8)
+        buf.insert(batch([1]))
+        with pytest.raises(BufferError_):
+            buf.release(5)
+
+    def test_release_frees_capacity(self):
+        buf = CircularTupleBuffer(SCHEMA, 4)
+        buf.insert(batch([1, 2, 3, 4]))
+        assert buf.free_slots == 0
+        buf.release(3)
+        assert buf.free_slots == 3

@@ -1,0 +1,65 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_application_queries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("CM1", "CM2", "SG1", "SG2", "SG3", "LRB1", "LRB4"):
+            assert name in out
+
+    def test_hardware_spec_dump(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "dispatch_bandwidth" in out
+        assert "cpu_predicate" in out
+
+
+class TestRun:
+    def test_named_query(self, capsys):
+        code = main([
+            "run", "CM1", "--tasks", "4", "--task-size", "32768",
+            "--rate", "64", "--workers", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out and "CM1" in out
+
+    def test_adhoc_cql(self, capsys):
+        code = main([
+            "run", "--cql",
+            "select timestamp, avg(value) as a from SmartGridStr "
+            "[range 30 slide 10]",
+            "--workload", "smartgrid", "--tasks", "4",
+            "--task-size", "16384", "--rate", "32", "--workers", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rows" in out
+
+    def test_requires_exactly_one_query_source(self, capsys):
+        assert main(["run"]) == 2
+        assert main(["run", "CM1", "--cql", "select timestamp from S [rows 4]"]) == 2
+
+    def test_no_gpu_flag(self, capsys):
+        code = main([
+            "run", "LRB1", "--tasks", "3", "--task-size", "16384",
+            "--no-gpu", "--workers", "2", "--show-rows", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPGPU" not in out.split("split")[1].splitlines()[0]
+
+    def test_fcfs_scheduler(self):
+        assert main([
+            "run", "LRB1", "--tasks", "3", "--task-size", "16384",
+            "--scheduler", "fcfs", "--workers", "2", "--show-rows", "0",
+        ]) == 0
+
+    def test_unknown_query_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "CM9", "--tasks", "2"])

@@ -1,0 +1,125 @@
+"""Unit tests for the dispatching stage (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.query import Query
+from repro.errors import DispatchError
+from repro.operators.aggregate_functions import AggregateSpec
+from repro.operators.aggregation import Aggregation
+from repro.operators.join import ThetaJoin
+from repro.operators.projection import identity_projection
+from repro.relational.expressions import col
+from repro.relational.schema import Schema
+from repro.windows.definition import WindowDefinition
+from repro.workloads.synthetic import SyntheticSource, SYNTHETIC_SCHEMA
+
+
+def simple_query(name="q"):
+    return Query(
+        name,
+        identity_projection(SYNTHETIC_SCHEMA),
+        [WindowDefinition.rows(64)],
+    )
+
+
+class TestTaskCreation:
+    def test_fixed_size_tasks(self):
+        query = simple_query()
+        d = Dispatcher(query, [SyntheticSource(seed=1)], task_size_bytes=1024)
+        t0 = d.create_task(now=0.0)
+        t1 = d.create_task(now=1.0)
+        assert t0.size_bytes == 1024
+        assert t0.tuple_count == 32  # 1024 / 32-byte tuples
+        assert t0.task_id == 0 and t1.task_id == 1
+
+    def test_batches_are_contiguous(self):
+        query = simple_query()
+        d = Dispatcher(query, [SyntheticSource(seed=1)], task_size_bytes=1024)
+        t0, t1 = d.create_task(0.0), d.create_task(0.0)
+        assert t0.batches[0].stop == t1.batches[0].start
+
+    def test_task_data_matches_source(self):
+        query = simple_query()
+        src = SyntheticSource(seed=5)
+        ref = SyntheticSource(seed=5)
+        d = Dispatcher(query, [src], task_size_bytes=1024)
+        task = d.create_task(0.0)
+        data = task.batches[0].read()
+        expected = ref.next_tuples(32)
+        assert np.array_equal(data.data, expected.data)
+
+    def test_previous_timestamp_threaded_between_tasks(self):
+        query = simple_query()
+        d = Dispatcher(query, [SyntheticSource(seed=1)], task_size_bytes=32 * 64)
+        t0 = d.create_task(0.0)
+        t1 = d.create_task(0.0)
+        assert t0.batches[0].previous_last_timestamp is None
+        last = int(t0.batches[0].read().timestamps[-1])
+        assert t1.batches[0].previous_last_timestamp == last
+
+    def test_invalid_task_size(self):
+        with pytest.raises(DispatchError):
+            Dispatcher(simple_query(), [SyntheticSource()], task_size_bytes=0)
+
+    def test_source_count_must_match_arity(self):
+        with pytest.raises(DispatchError):
+            Dispatcher(
+                simple_query(), [SyntheticSource(), SyntheticSource()], 1024
+            )
+
+
+class TestMultiInput:
+    def make_join_query(self, rates=None):
+        op = ThetaJoin(
+            SYNTHETIC_SCHEMA.rename("L"),
+            SYNTHETIC_SCHEMA.rename("R"),
+            col("a3") < col("r_a3"),
+        )
+        w = WindowDefinition.rows(64, 64)
+        return Query("j", op, [w, w], input_rates=rates)
+
+    def test_even_split_by_default(self):
+        d = Dispatcher(
+            self.make_join_query(),
+            [SyntheticSource(seed=1), SyntheticSource(seed=2)],
+            task_size_bytes=2048,
+        )
+        task = d.create_task(0.0)
+        assert [b.tuple_count for b in task.batches] == [32, 32]
+
+    def test_proportional_split_with_rates(self):
+        d = Dispatcher(
+            self.make_join_query(rates=[3.0, 1.0]),
+            [SyntheticSource(seed=1), SyntheticSource(seed=2)],
+            task_size_bytes=4096,
+        )
+        task = d.create_task(0.0)
+        assert [b.tuple_count for b in task.batches] == [96, 32]
+
+
+class TestRelease:
+    def test_release_frees_buffer_space(self):
+        query = simple_query()
+        d = Dispatcher(
+            query,
+            [SyntheticSource(seed=1)],
+            task_size_bytes=1024,
+            buffer_capacity_tasks=4,
+        )
+        tasks = [d.create_task(0.0) for __ in range(4)]
+        with pytest.raises(Exception):
+            d.create_task(0.0)  # buffer full: backpressure
+        d.release(tasks[0])
+        d.create_task(0.0)  # now fits
+
+
+class TestSimulationOnly:
+    def test_data_free_tasks(self):
+        query = simple_query()
+        d = Dispatcher(query, None, task_size_bytes=1024)
+        task = d.create_task(0.0)
+        assert task.batches[0].buffer is None
+        with pytest.raises(RuntimeError):
+            task.batches[0].read()

@@ -1,0 +1,127 @@
+"""Unit tests for expression trees, predicates and cost introspection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expressions import (
+    And,
+    Comparison,
+    Constant,
+    Not,
+    Or,
+    TruePredicate,
+    col,
+    conjunction,
+    disjunction,
+)
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+
+SCHEMA = Schema.with_timestamp("a:float, b:int")
+
+
+def batch(n=8):
+    return TupleBatch.from_columns(
+        SCHEMA,
+        timestamp=np.arange(n, dtype=np.int64),
+        a=np.arange(n, dtype=np.float32),
+        b=(np.arange(n) % 4).astype(np.int32),
+    )
+
+
+class TestExpressions:
+    def test_column_evaluation(self):
+        assert np.array_equal(col("b").evaluate(batch()), np.arange(8) % 4)
+
+    def test_arithmetic_evaluation(self):
+        expr = col("a") * 2 + 1
+        assert np.allclose(expr.evaluate(batch()), np.arange(8) * 2 + 1)
+
+    def test_operation_count(self):
+        assert (col("a") + 1).operation_count() == 1
+        assert ((col("a") + 1) * (col("b") - 2)).operation_count() == 3
+        assert col("a").operation_count() == 0
+
+    def test_references(self):
+        expr = (col("a") + col("b")) / 2
+        assert expr.references() == {"a", "b"}
+
+    def test_constant_broadcast(self):
+        assert Constant(5).evaluate(batch()) == 5
+
+    def test_invalid_operand_raises(self):
+        with pytest.raises(ExpressionError):
+            col("a") + "text"
+
+    def test_modulo(self):
+        assert np.array_equal(
+            (col("b") % 2).evaluate(batch()), (np.arange(8) % 4) % 2
+        )
+
+
+class TestPredicates:
+    def test_comparison(self):
+        mask = (col("a") < 3).evaluate(batch())
+        assert mask.sum() == 3
+
+    def test_eq_and_ne(self):
+        assert col("b").eq(0).evaluate(batch()).sum() == 2
+        assert col("b").ne(0).evaluate(batch()).sum() == 6
+
+    def test_and_or_not(self):
+        p = (col("a") < 6) & (col("b").eq(1)) | ~(col("a") < 7)
+        mask = p.evaluate(batch())
+        a = np.arange(8)
+        b = a % 4
+        expected = ((a < 6) & (b == 1)) | ~(a < 7)
+        assert np.array_equal(mask, expected)
+
+    def test_scalar_comparison_broadcasts(self):
+        p = Comparison("<", Constant(1), Constant(2))
+        assert p.evaluate(batch(3)).shape == (3,)
+
+    def test_predicate_count(self):
+        p = conjunction([col("a") < k for k in range(5)])
+        assert p.predicate_count() == 5
+
+    def test_true_predicate(self):
+        assert TruePredicate().evaluate(batch()).all()
+        assert TruePredicate().predicate_count() == 0
+
+    def test_empty_conjunction_is_true(self):
+        assert conjunction([]).evaluate(batch()).all()
+        assert disjunction([]).evaluate(batch()).all()
+
+
+class TestShortCircuitModel:
+    def test_single_comparison_is_one_eval(self):
+        assert (col("a") < 1).expected_evaluations(0.5) == 1.0
+
+    def test_and_chain_with_high_selectivity_evaluates_all(self):
+        p = conjunction([col("a") < k for k in range(8)])
+        assert p.expected_evaluations(1.0) == pytest.approx(8.0)
+
+    def test_and_chain_with_zero_selectivity_short_circuits(self):
+        p = conjunction([col("a") < k for k in range(8)])
+        assert p.expected_evaluations(0.0) == pytest.approx(1.0)
+
+    def test_or_chain_with_low_selectivity_evaluates_most_atoms(self):
+        # An OR whose branches rarely pass must walk most of the chain —
+        # the structure behind the Fig. 16 query's expensive regime.
+        n = 100
+        p = disjunction([col("b") < k for k in range(n)])
+        assert p.expected_evaluations(0.01) > 50
+
+    def test_and_of_or_chain_is_cheap_when_guard_rarely_holds(self):
+        n = 100
+        p = And(col("a") < 1, disjunction([col("b") < k for k in range(n - 1)]))
+        assert p.expected_evaluations(0.01) < 3
+
+    def test_not_passes_through(self):
+        inner = conjunction([col("a") < k for k in range(4)])
+        assert Not(inner).expected_evaluations(1.0) == inner.expected_evaluations(1.0)
+
+    def test_or_with_high_selectivity_short_circuits(self):
+        p = disjunction([col("a") < k for k in range(8)])
+        assert p.expected_evaluations(1.0) == pytest.approx(1.0)

@@ -1,0 +1,119 @@
+"""Failure-injection tests: wrong-sized sources, backpressure, misuse."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatcher import Dispatcher
+from repro.core.engine import SaberConfig, SaberEngine
+from repro.core.query import Query
+from repro.errors import BufferError_, DispatchError, SaberError
+from repro.operators.projection import identity_projection
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+from repro.windows.definition import WindowDefinition
+from repro.workloads.synthetic import SYNTHETIC_SCHEMA, SyntheticSource, select_query
+
+
+class ShortSource:
+    """A source that returns fewer tuples than requested."""
+
+    def __init__(self):
+        self.schema = SYNTHETIC_SCHEMA
+        self._inner = SyntheticSource(seed=1)
+
+    def next_tuples(self, count):
+        return self._inner.next_tuples(max(1, count // 2))
+
+
+class WrongSchemaSource:
+    """A source whose tuples do not match the query's schema."""
+
+    schema = Schema.parse("x:long")
+
+    def next_tuples(self, count):
+        return TupleBatch.from_columns(
+            self.schema, x=np.arange(count, dtype=np.int64)
+        )
+
+
+def simple_query(name="fi"):
+    return Query(
+        name, identity_projection(SYNTHETIC_SCHEMA), [WindowDefinition.rows(64)]
+    )
+
+
+class TestSourceFailures:
+    def test_short_source_detected(self):
+        d = Dispatcher(simple_query(), [ShortSource()], task_size_bytes=4096)
+        with pytest.raises(DispatchError):
+            d.create_task(0.0)
+
+    def test_wrong_schema_source_detected(self):
+        d = Dispatcher(simple_query(), [WrongSchemaSource()], task_size_bytes=4096)
+        with pytest.raises(SaberError):
+            d.create_task(0.0)
+
+
+class TestBackpressure:
+    def test_tiny_queue_still_completes(self):
+        engine = SaberEngine(
+            SaberConfig(task_size_bytes=8192, cpu_workers=2, queue_capacity=1)
+        )
+        q = select_query(4)
+        engine.add_query(q, [SyntheticSource(seed=2)])
+        report = engine.run(tasks_per_query=12)
+        assert len(report.measurements.records) == 12
+
+    def test_single_worker_single_processor(self):
+        engine = SaberEngine(
+            SaberConfig(
+                task_size_bytes=8192, cpu_workers=1, use_gpu=False,
+                queue_capacity=2,
+            )
+        )
+        q = select_query(4)
+        engine.add_query(q, [SyntheticSource(seed=2)])
+        report = engine.run(tasks_per_query=8)
+        assert report.processor_share() == {"CPU": 1.0}
+
+    def test_buffer_capacity_exhaustion_raises_not_corrupts(self):
+        # A dispatcher whose tasks are never released must hit explicit
+        # backpressure, not silently overwrite data.
+        d = Dispatcher(
+            simple_query(), [SyntheticSource(seed=1)],
+            task_size_bytes=4096, buffer_capacity_tasks=3,
+        )
+        d.create_task(0.0)
+        d.create_task(0.0)
+        d.create_task(0.0)
+        with pytest.raises(BufferError_):
+            d.create_task(0.0)
+
+
+class TestEngineMisuse:
+    def test_run_twice_with_new_engine_is_clean(self):
+        # Engines are single-run; a fresh engine reproduces the result.
+        def run():
+            engine = SaberEngine(SaberConfig(task_size_bytes=8192, cpu_workers=2))
+            q = select_query(2)
+            engine.add_query(q, [SyntheticSource(seed=5)])
+            return engine.run(tasks_per_query=6).throughput_bytes
+
+        assert run() == run()
+
+    def test_zero_tasks_rejected(self):
+        engine = SaberEngine(SaberConfig(task_size_bytes=8192, cpu_workers=2))
+        engine.add_query(select_query(2), [SyntheticSource(seed=5)])
+        with pytest.raises(SaberError):
+            engine.run(tasks_per_query=0)
+
+    def test_gpu_only_join_runs(self):
+        from repro.workloads.synthetic import join_query
+
+        engine = SaberEngine(
+            SaberConfig(task_size_bytes=8192, use_cpu=False)
+        )
+        q = join_query(2)
+        engine.add_query(q, [SyntheticSource(seed=1), SyntheticSource(seed=2)])
+        report = engine.run(tasks_per_query=5)
+        assert report.processor_share() == {"GPGPU": 1.0}

@@ -1,0 +1,67 @@
+"""Unit tests for the open-addressing GROUP-BY table."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.gpu.hashtable import OpenAddressingTable
+
+
+class TestInsertLookup:
+    def test_single_key_accumulates(self):
+        table = OpenAddressingTable(capacity=8, key_width=1)
+        table.insert(np.array([[1], [1], [1]]), np.array([1.0, 2.0, 3.0]))
+        acc = table.lookup(np.array([1]))
+        assert acc[0] == 6.0 and acc[1] == 3.0
+        assert acc[2] == 1.0 and acc[3] == 3.0
+
+    def test_absent_key_is_none(self):
+        table = OpenAddressingTable(capacity=8, key_width=1)
+        table.insert(np.array([[1]]), np.array([1.0]))
+        assert table.lookup(np.array([99])) is None
+
+    def test_composite_keys(self):
+        table = OpenAddressingTable(capacity=16, key_width=2)
+        table.insert(np.array([[1, 2], [1, 3], [1, 2]]), np.array([1.0, 5.0, 2.0]))
+        assert table.lookup(np.array([1, 2]))[0] == 3.0
+        assert table.lookup(np.array([1, 3]))[0] == 5.0
+        assert table.size == 2
+
+    def test_collisions_resolved_by_linear_probing(self):
+        # Tiny table forces collisions; all keys must still be found.
+        table = OpenAddressingTable(capacity=4, key_width=1)
+        table.insert(np.array([[k] for k in range(4)]), np.arange(4, dtype=float))
+        for k in range(4):
+            assert table.lookup(np.array([k]))[0] == float(k)
+
+    def test_full_table_raises(self):
+        table = OpenAddressingTable(capacity=2, key_width=1)
+        table.insert(np.array([[0], [1]]), np.array([0.0, 1.0]))
+        with pytest.raises(ExecutionError):
+            table.insert(np.array([[2]]), np.array([2.0]))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ExecutionError):
+            OpenAddressingTable(capacity=0, key_width=1)
+
+
+class TestCompaction:
+    def test_compact_sorted_and_matches_numpy_grouping(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 10, size=(200, 1))
+        values = rng.random(200)
+        table = OpenAddressingTable(capacity=64, key_width=1)
+        table.insert(keys, values)
+        out_keys, acc = table.compact()
+        assert np.array_equal(out_keys[:, 0], np.unique(keys))
+        for i, k in enumerate(out_keys[:, 0]):
+            sel = values[keys[:, 0] == k]
+            assert acc[i, 0] == pytest.approx(sel.sum())
+            assert acc[i, 1] == len(sel)
+            assert acc[i, 2] == pytest.approx(sel.min())
+            assert acc[i, 3] == pytest.approx(sel.max())
+
+    def test_compact_empty(self):
+        table = OpenAddressingTable(capacity=4, key_width=1)
+        keys, acc = table.compact()
+        assert len(keys) == 0 and len(acc) == 0

@@ -1,0 +1,100 @@
+"""Unit tests for the five-stage data-movement pipeline (Fig. 6)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.pcie import PcieBus
+from repro.gpu.pipeline import STAGES, MovementPipeline
+
+
+def uniform(d):
+    return {stage: d for stage in STAGES}
+
+
+class TestDependencies:
+    def test_stages_of_one_task_are_sequential(self):
+        p = MovementPipeline()
+        t = p.schedule(0.0, uniform(1.0))
+        for a, b in zip(STAGES, STAGES[1:]):
+            assert t.start[b] >= t.finish[a]
+
+    def test_thread_dependency_across_tasks(self):
+        p = MovementPipeline()
+        t1 = p.schedule(0.0, uniform(1.0))
+        t2 = p.schedule(0.0, uniform(1.0))
+        for stage in STAGES:
+            assert t2.start[stage] >= t1.finish[stage]
+
+    def test_steady_state_interval_is_bottleneck_stage(self):
+        durations = {
+            "copyin": 2.0, "movein": 1.0, "execute": 5.0,
+            "moveout": 1.0, "copyout": 2.0,
+        }
+        p = MovementPipeline()
+        completions = [p.schedule(0.0, durations).completion_time for __ in range(10)]
+        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        # After warm-up, one task departs per bottleneck (execute) period.
+        assert gaps[-1] == pytest.approx(5.0)
+
+    def test_latency_is_sum_of_stages(self):
+        p = MovementPipeline()
+        t = p.schedule(0.0, uniform(1.0))
+        assert t.completion_time == pytest.approx(5.0)
+
+    def test_buffer_ring_blocks_task_k_plus_4(self):
+        # With 4 buffers and a slow copyout, the 5th task cannot start
+        # its copyin before task 1 released its slot.
+        durations = {
+            "copyin": 0.1, "movein": 0.1, "execute": 0.1,
+            "moveout": 0.1, "copyout": 10.0,
+        }
+        p = MovementPipeline(buffer_slots=4)
+        first = p.schedule(0.0, durations)
+        for __ in range(3):
+            p.schedule(0.0, durations)
+        fifth = p.schedule(0.0, durations)
+        assert fifth.start["copyin"] >= first.finish["copyout"]
+
+
+class TestNonPipelined:
+    def test_sequential_execution(self):
+        p = MovementPipeline(pipelined=False)
+        t1 = p.schedule(0.0, uniform(1.0))
+        t2 = p.schedule(0.0, uniform(1.0))
+        assert t1.completion_time == pytest.approx(5.0)
+        assert t2.start["copyin"] >= t1.completion_time
+        assert t2.completion_time == pytest.approx(10.0)
+
+    def test_pipelining_beats_sequential(self):
+        d = uniform(1.0)
+        pipelined = MovementPipeline()
+        serial = MovementPipeline(pipelined=False)
+        last_p = [pipelined.schedule(0.0, d).completion_time for __ in range(8)][-1]
+        last_s = [serial.schedule(0.0, d).completion_time for __ in range(8)][-1]
+        assert last_p < last_s / 3
+
+
+class TestValidation:
+    def test_missing_stage_raises(self):
+        p = MovementPipeline()
+        with pytest.raises(SimulationError):
+            p.schedule(0.0, {"copyin": 1.0})
+
+    def test_zero_buffer_slots_rejected(self):
+        with pytest.raises(SimulationError):
+            MovementPipeline(buffer_slots=0)
+
+    def test_next_accept_time_advances(self):
+        p = MovementPipeline()
+        assert p.next_accept_time() == 0.0
+        p.schedule(0.0, uniform(1.0))
+        assert p.next_accept_time() >= 1.0
+
+
+class TestPcie:
+    def test_transfer_time_includes_dma_latency(self):
+        bus = PcieBus(bandwidth_bytes_per_second=1e9, dma_latency_seconds=10e-6)
+        assert bus.transfer_seconds(1e6) == pytest.approx(10e-6 + 1e-3)
+
+    def test_zero_bytes_is_free(self):
+        assert PcieBus().transfer_seconds(0) == 0.0

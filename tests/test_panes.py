@@ -1,0 +1,94 @@
+"""Unit tests for incremental range aggregation structures."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WindowError
+from repro.windows.definition import WindowDefinition
+from repro.windows.panes import (
+    PrefixRangeAggregator,
+    SparseTableRangeAggregator,
+    pane_boundaries,
+    pane_partials,
+)
+
+
+class TestPrefixRangeAggregator:
+    def test_matches_naive_sums(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(100)
+        agg = PrefixRangeAggregator(values)
+        starts = np.array([0, 10, 50, 99, 30])
+        ends = np.array([100, 20, 55, 100, 30])
+        out = agg.query(starts, ends)
+        for s, e, v in zip(starts, ends, out):
+            assert v == pytest.approx(values[s:e].sum())
+
+    def test_empty_range_is_zero(self):
+        agg = PrefixRangeAggregator(np.arange(5))
+        assert agg.query(np.array([2]), np.array([2]))[0] == 0.0
+
+    def test_invalid_range_raises(self):
+        agg = PrefixRangeAggregator(np.arange(5))
+        with pytest.raises(WindowError):
+            agg.query(np.array([3]), np.array([2]))
+
+    def test_empty_values(self):
+        agg = PrefixRangeAggregator(np.zeros(0))
+        assert agg.query(np.array([0]), np.array([0]))[0] == 0.0
+
+
+class TestSparseTable:
+    @pytest.mark.parametrize("combine", ["min", "max"])
+    def test_matches_naive(self, combine):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=257)
+        table = SparseTableRangeAggregator(values, combine)
+        starts = np.array([0, 3, 100, 255, 17])
+        ends = np.array([257, 4, 200, 257, 18])
+        out = table.query(starts, ends)
+        fn = np.min if combine == "min" else np.max
+        for s, e, v in zip(starts, ends, out):
+            assert v == pytest.approx(fn(values[s:e]))
+
+    def test_empty_range_gives_identity(self):
+        table = SparseTableRangeAggregator(np.arange(8), "max")
+        assert table.query(np.array([3]), np.array([3]))[0] == -np.inf
+        table = SparseTableRangeAggregator(np.arange(8), "min")
+        assert table.query(np.array([3]), np.array([3]))[0] == np.inf
+
+    def test_single_element(self):
+        table = SparseTableRangeAggregator(np.array([42.0]), "max")
+        assert table.query(np.array([0]), np.array([1]))[0] == 42.0
+
+    def test_invalid_combine(self):
+        with pytest.raises(WindowError):
+            SparseTableRangeAggregator(np.arange(4), "median")
+
+    def test_invalid_range(self):
+        table = SparseTableRangeAggregator(np.arange(4), "max")
+        with pytest.raises(WindowError):
+            table.query(np.array([2]), np.array([1]))
+
+
+class TestPanes:
+    def test_pane_boundaries_gcd(self):
+        w = WindowDefinition.rows(12, 8)  # pane = 4
+        cuts = pane_boundaries(w, 20)
+        assert list(cuts) == [0, 4, 8, 12, 16, 20]
+
+    def test_pane_boundaries_clip_tail(self):
+        w = WindowDefinition.rows(4, 4)
+        cuts = pane_boundaries(w, 10)
+        assert list(cuts) == [0, 4, 8, 10]
+
+    def test_pane_boundaries_time_mode_rejected(self):
+        with pytest.raises(WindowError):
+            pane_boundaries(WindowDefinition.time(4, 4), 10)
+
+    def test_pane_partials_sum_to_total(self):
+        values = np.arange(10, dtype=float)
+        cuts = np.array([0, 4, 8, 10])
+        partials = pane_partials(values, cuts)
+        assert partials.sum() == pytest.approx(values.sum())
+        assert partials[0] == pytest.approx(values[:4].sum())

@@ -1,0 +1,144 @@
+"""Unit tests for result reordering and window assembly (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import Query
+from repro.core.result_stage import ResultStage
+from repro.core.task import QueryTask
+from repro.errors import ExecutionError
+from repro.operators.aggregate_functions import AggregateSpec
+from repro.operators.aggregation import Aggregation
+from repro.operators.base import StreamSlice
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+from repro.windows.assigner import assign_count_windows
+from repro.windows.definition import WindowDefinition
+
+SCHEMA = Schema.with_timestamp("v:float")
+WINDOW = WindowDefinition.rows(8, 4)
+
+
+def make_query():
+    op = Aggregation(SCHEMA, [AggregateSpec("sum", "v", "s")])
+    return Query("q", op, [WINDOW])
+
+
+def batch(start, stop):
+    idx = np.arange(start, stop)
+    return TupleBatch.from_columns(
+        SCHEMA, timestamp=idx.astype(np.int64), v=idx.astype(np.float32)
+    )
+
+
+def task_result(query, task_id, start, stop):
+    data = batch(start, stop)
+    ws = assign_count_windows(WINDOW, start, stop)
+    result = query.operator.process_batch([StreamSlice(data, ws, start)])
+    task = QueryTask(query, task_id, [], created_at=float(task_id), size_bytes=stop - start)
+    return task, result
+
+
+class TestOrdering:
+    def test_in_order_submission_emits_progressively(self):
+        query = make_query()
+        stage = ResultStage(query)
+        emitted = []
+        for i, (a, b) in enumerate([(0, 6), (6, 12), (12, 18)]):
+            task, result = task_result(query, i, a, b)
+            emitted += stage.submit(task, result, now=float(i))
+        out = stage.output()
+        # Windows [0,8), [4,12), [8,16) closed within 18 rows.
+        assert np.allclose(out.column("s"), [28.0, 60.0, 92.0])
+        assert list(out.timestamps) == [7, 11, 15]
+
+    def test_out_of_order_submission_buffers(self):
+        query = make_query()
+        stage = ResultStage(query)
+        t0, r0 = task_result(query, 0, 0, 6)
+        t1, r1 = task_result(query, 1, 6, 12)
+        t2, r2 = task_result(query, 2, 12, 18)
+        assert stage.submit(t2, r2, 0.0) == []     # waits for 0,1
+        assert stage.submit(t1, r1, 0.0) == []
+        emitted = stage.submit(t0, r0, 1.0)        # drains all three
+        out = stage.output()
+        assert np.allclose(out.column("s"), [28.0, 60.0, 92.0])
+        assert all(e.emit_time == 1.0 for e in emitted)
+
+    def test_out_of_order_equals_in_order(self):
+        import itertools
+
+        ranges = [(0, 6), (6, 12), (12, 18), (18, 24)]
+        reference = None
+        for perm in itertools.permutations(range(4)):
+            query = make_query()
+            stage = ResultStage(query)
+            tasks = [task_result(query, i, *ranges[i]) for i in range(4)]
+            for i in perm:
+                stage.submit(tasks[i][0], tasks[i][1], 0.0)
+            out = stage.output().column("s").tolist()
+            if reference is None:
+                reference = out
+            assert out == reference, perm
+
+    def test_duplicate_task_rejected(self):
+        query = make_query()
+        stage = ResultStage(query)
+        task, result = task_result(query, 0, 0, 6)
+        stage.submit(task, result, 0.0)
+        with pytest.raises(ExecutionError):
+            stage.submit(task, result, 0.0)
+
+    def test_slot_overflow_detected(self):
+        query = make_query()
+        stage = ResultStage(query, slots=2)
+        # Tasks 1 and 2 buffered while 0 is missing -> overflow at 2 slots.
+        t1, r1 = task_result(query, 1, 6, 12)
+        t2, r2 = task_result(query, 2, 12, 18)
+        t3, r3 = task_result(query, 3, 18, 24)
+        stage.submit(t1, r1, 0.0)
+        stage.submit(t2, r2, 0.0)
+        with pytest.raises(ExecutionError):
+            stage.submit(t3, r3, 0.0)
+
+
+class TestRelease:
+    def test_release_callback_fires_in_task_order(self):
+        query = make_query()
+        released = []
+        stage = ResultStage(query, on_release=lambda t: released.append(t.task_id))
+        tasks = [task_result(query, i, i * 6, (i + 1) * 6) for i in range(3)]
+        stage.submit(tasks[1][0], tasks[1][1], 0.0)
+        assert released == []
+        stage.submit(tasks[0][0], tasks[0][1], 0.0)
+        assert released == [0, 1]
+        stage.submit(tasks[2][0], tasks[2][1], 0.0)
+        assert released == [0, 1, 2]
+
+
+class TestFlush:
+    def test_flush_emits_open_windows(self):
+        query = make_query()
+        stage = ResultStage(query)
+        task, result = task_result(query, 0, 0, 6)
+        stage.submit(task, result, 0.0)
+        assert stage.output() is None  # nothing closed yet
+        stage.flush(now=1.0)
+        out = stage.output()
+        assert len(out) == 2  # windows 0 and 1 had fragments
+
+    def test_flush_empty_pending_is_noop(self):
+        query = make_query()
+        stage = ResultStage(query)
+        assert stage.flush(0.0) == []
+
+
+class TestOutputAccounting:
+    def test_rows_and_bytes_counted_without_collection(self):
+        query = make_query()
+        stage = ResultStage(query, collect_output=False)
+        for i, (a, b) in enumerate([(0, 8), (8, 16)]):
+            task, result = task_result(query, i, a, b)
+            stage.submit(task, result, 0.0)
+        assert stage.output() is None
+        assert stage.output_rows > 0

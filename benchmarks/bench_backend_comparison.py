@@ -1,0 +1,193 @@
+"""Backend comparison: sim (virtual time) vs threads (wall clock).
+
+Runs the Fig. 8-style synthetic workload — PROJ4, SELECT16, AGG*,
+GROUP-BY8 and JOIN1 — on *real data* through both execution backends and
+records a throughput/latency/equivalence entry per (query, backend) pair
+in ``BENCH_PR1.json``.  The sim backend reports the calibrated virtual
+throughput of the paper's server; the threads backend reports the real
+wall-clock throughput of this machine's numpy execution.  The two are
+not comparable to each other — what *is* comparable across commits is
+each backend against its own history, which is what the CI smoke job
+accumulates.
+
+Equivalence is checked on the way: per query, the two backends' outputs
+must match.  Today every operator matches bitwise (the GPGPU kernels
+are defined to produce identical rows); float aggregation is compared
+to a tolerance anyway so a future GPGPU reduction kernel with a
+different float order degrades this check gracefully instead of
+failing the benchmark.
+
+Usage::
+
+    python benchmarks/bench_backend_comparison.py           # full run
+    python benchmarks/bench_backend_comparison.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+import numpy as np
+
+from repro.core.engine import Report, SaberConfig, SaberEngine
+from repro.workloads.synthetic import (
+    TUPLE_SIZE,
+    SyntheticSource,
+    agg_query,
+    groupby_query,
+    join_query,
+    proj_query,
+    select_query,
+)
+
+BACKENDS = ("sim", "threads")
+
+#: (label, query factory, source seeds, float-tolerant comparison) —
+#: aggregation over floats tolerates GPGPU reduction-tree reordering.
+WORKLOAD = [
+    ("PROJ4", lambda: proj_query(4), (31,), True),
+    ("SELECT16", lambda: select_query(16, pass_rate=0.5), (32,), False),
+    ("AGG*", lambda: agg_query(["avg", "sum", "min", "max", "count"],
+                               name="AGGstar"), (33,), True),
+    ("GROUP-BY8", lambda: groupby_query(8, functions=["cnt", "sum"]), (34,), True),
+    ("JOIN1", lambda: join_query(1), (35, 36), False),
+]
+
+
+def run_backend(execution, make_query, seeds, tasks, task_tuples, workers):
+    """One engine run; returns the report, the output batch and wall time."""
+    engine = SaberEngine(
+        SaberConfig(
+            execution=execution,
+            task_size_bytes=task_tuples * TUPLE_SIZE,
+            cpu_workers=workers,
+            queue_capacity=16,
+            collect_output=True,
+        )
+    )
+    query = make_query()
+    engine.add_query(
+        query, [SyntheticSource(seed=s, groups=8) for s in seeds]
+    )
+    started = time.perf_counter()
+    report = engine.run(tasks_per_query=tasks)
+    wall = time.perf_counter() - started
+    return report, report.outputs[query.name], wall, query.name
+
+
+def outputs_equal(a, b, tolerant):
+    """Compare two output batches column-wise."""
+    if a is None or b is None:
+        return a is None and b is None
+    if len(a) != len(b):
+        return False
+    for name in a.data.dtype.names:
+        left, right = a.data[name], b.data[name]
+        if tolerant and np.issubdtype(left.dtype, np.floating):
+            if not np.allclose(left, right, rtol=1e-5, atol=1e-8):
+                return False
+        elif not np.array_equal(left, right):
+            return False
+    return True
+
+
+def summarise(report: Report, wall: float) -> dict:
+    shares = report.processor_share()
+    return {
+        "throughput_bytes_per_s": report.throughput_bytes,
+        "throughput_tuples_per_s": report.throughput_tuples,
+        "latency_mean_s": report.latency_mean,
+        "elapsed_s": report.elapsed_seconds,
+        "wall_clock_s": wall,
+        "cpu_share": shares.get("CPU", 0.0),
+        "gpu_share": shares.get("GPGPU", 0.0),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized run: fewer, smaller tasks",
+    )
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="tasks per query (overrides the mode default)")
+    parser.add_argument("--task-tuples", type=int, default=None,
+                        help="tuples per task (overrides the mode default)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="CPU workers (default: min(8, cpu_count))")
+    parser.add_argument("--output", type=Path,
+                        default=_ROOT / "BENCH_PR1.json")
+    args = parser.parse_args(argv)
+
+    for name in ("tasks", "task_tuples", "workers"):
+        value = getattr(args, name)
+        if value is not None and value <= 0:
+            parser.error(f"--{name.replace('_', '-')} must be positive, got {value}")
+    tasks = args.tasks if args.tasks else (10 if args.smoke else 48)
+    task_tuples = args.task_tuples if args.task_tuples else (512 if args.smoke else 2048)
+    workers = args.workers if args.workers else min(8, os.cpu_count() or 4)
+
+    results = []
+    mismatches = []
+    for label, make_query, seeds, tolerant in WORKLOAD:
+        outputs = {}
+        for backend in BACKENDS:
+            report, output, wall, query_name = run_backend(
+                backend, make_query, seeds, tasks, task_tuples, workers
+            )
+            outputs[backend] = output
+            entry = {"query": label, "backend": backend}
+            entry.update(summarise(report, wall))
+            entry["output_rows"] = report.output_rows[query_name]
+            results.append(entry)
+            print(
+                f"{label:>10} [{backend:>7}] "
+                f"tput={entry['throughput_bytes_per_s'] / 1e6:9.1f} MB/s  "
+                f"latency={entry['latency_mean_s'] * 1e3:7.3f} ms  "
+                f"wall={wall:6.2f} s"
+            )
+        match = outputs_equal(outputs["sim"], outputs["threads"], tolerant)
+        if not match:
+            mismatches.append(label)
+        print(f"{label:>10} outputs {'match' if match else 'MISMATCH'}")
+
+    record = {
+        "benchmark": "bench_backend_comparison",
+        "paper_figure": "Fig. 8 (synthetic queries), both execution backends",
+        "smoke": bool(args.smoke),
+        "config": {
+            "tasks_per_query": tasks,
+            "task_tuples": task_tuples,
+            "cpu_workers": workers,
+            "tuple_size_bytes": TUPLE_SIZE,
+        },
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "outputs_equivalent": not mismatches,
+        "mismatched_queries": mismatches,
+        "results": results,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if mismatches:
+        print(f"ERROR: backend outputs diverged for {mismatches}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

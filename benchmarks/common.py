@@ -11,14 +11,21 @@ MB = 1e6
 def run_saber(
     queries_and_sources,
     tasks_per_query: int = 150,
+    execution: str = "sim",
     **config_kwargs,
 ) -> Report:
-    """Run one engine instance over (query, sources) pairs."""
+    """Run one engine instance over (query, sources) pairs.
+
+    ``execution`` selects the backend (``"sim"`` virtual time or
+    ``"threads"`` real workers), so every figure benchmark can be re-run
+    on either backend without edits.
+    """
     defaults = dict(
         task_size_bytes=1 << 20,
         cpu_workers=15,
         queue_capacity=32,
         collect_output=False,
+        execution=execution,
     )
     defaults.update(config_kwargs)
     engine = SaberEngine(SaberConfig(**defaults))

@@ -10,7 +10,10 @@ the paper-shaped numbers alongside pytest-benchmark's timing stats.
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
+_HERE = Path(__file__).resolve().parent
+for _path in (_HERE, _HERE.parent / "src"):
+    if str(_path) not in sys.path:
+        sys.path.insert(0, str(_path))
 
 import pytest
 

@@ -65,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scheduler", choices=["hls", "fcfs"], default="hls",
         help="task scheduling policy",
     )
+    run.add_argument(
+        "--execution", choices=["sim", "threads"], default="sim",
+        help="execution backend: virtual-time simulation or real threads",
+    )
     run.add_argument("--seed", type=int, default=1, help="workload seed")
     run.add_argument(
         "--rate", type=int, default=256,
@@ -112,12 +116,14 @@ def _command_run(args: argparse.Namespace) -> int:
             cpu_workers=args.workers,
             use_gpu=not args.no_gpu,
             scheduler=args.scheduler,
+            execution=args.execution,
         )
     )
     engine.add_query(query, sources)
     report = engine.run(tasks_per_query=args.tasks)
+    clock = "virtual" if args.execution == "sim" else "wall-clock"
     print(f"query      : {query.name}")
-    print(f"throughput : {report.throughput_bytes / 1e6:.1f} MB/s (virtual)")
+    print(f"throughput : {report.throughput_bytes / 1e6:.1f} MB/s ({clock})")
     print(f"latency    : {report.latency_mean * 1e3:.2f} ms mean")
     shares = ", ".join(
         f"{p}={s:.0%}" for p, s in sorted(report.processor_share().items())

@@ -11,6 +11,13 @@ Sources implement :class:`Source` — an infinite, timestamp-ordered tuple
 generator.  In *simulation-only* runs the dispatcher skips buffering and
 produces data-free tasks whose statistics come from the query's
 ``stat_model``.
+
+**Concurrency.**  The dispatcher is single-writer by construction: only
+the dispatching thread calls :meth:`create_task` (it owns the cursors and
+buffer inserts), while :meth:`release` may be called from any worker
+thread — it only touches the buffers, whose pointer advancement is
+internally locked.  :meth:`can_create_task` lets the threaded backend
+apply buffer backpressure before pulling source data.
 """
 
 from __future__ import annotations
@@ -78,6 +85,20 @@ class Dispatcher:
         """Task size realised after rounding to whole tuples."""
         return sum(
             n * s.tuple_size for n, s in zip(self._tuples_per_input, self._schemas)
+        )
+
+    def can_create_task(self) -> bool:
+        """Whether every input buffer has room for the next task's tuples.
+
+        The threaded backend blocks the dispatcher thread on this check
+        (plus the queue-capacity check) instead of letting
+        :meth:`create_task` raise a buffer overflow.
+        """
+        if self.sources is None:
+            return True
+        return all(
+            buffer.free_slots >= count
+            for buffer, count in zip(self.buffers, self._tuples_per_input)
         )
 
     def create_task(self, now: float) -> QueryTask:

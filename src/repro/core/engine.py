@@ -1,9 +1,17 @@
 """The SABER engine (§4): dispatch → schedule → execute → result stages.
 
-The engine runs as a deterministic discrete-event simulation.  Operators
-execute *real data* (numpy) so outputs are exact; execution *time* comes
-from the calibrated hardware models, which is what makes laptop-scale
-runs reproduce the paper's performance shapes (see DESIGN.md).
+The engine offers two execution backends behind one API
+(``SaberConfig(execution=...)``):
+
+* ``"sim"`` (default) — a deterministic discrete-event simulation.
+  Operators execute *real data* (numpy) so outputs are exact; execution
+  *time* comes from the calibrated hardware models, which is what makes
+  laptop-scale runs reproduce the paper's performance shapes (see
+  DESIGN.md);
+* ``"threads"`` — real ``threading.Thread`` workers pulling tasks from
+  the shared queue under the same scheduling discipline, timed by the
+  wall clock (:mod:`repro.core.executor`).  Outputs are identical to the
+  sim backend: the result stage emits in task-id order either way.
 
 Entities:
 
@@ -23,7 +31,7 @@ throughput/latency plus per-processor contribution splits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import SimulationError
 from ..gpu.kernels import execute_on_gpu
@@ -37,6 +45,7 @@ from ..sim.loop import EventLoop
 from ..sim.measurements import Measurements, TaskRecord
 from ..windows.assigner import WindowSet, assign_windows
 from .dispatcher import Dispatcher, Source
+from .executor import ThreadedExecutor
 from .query import Query
 from .result_stage import ResultStage
 from .scheduler import (
@@ -73,6 +82,10 @@ class SaberConfig:
     pipelined: bool = True
     execute_data: bool = True
     collect_output: bool = True
+    #: execution backend: ``"sim"`` (virtual-time discrete-event loop) or
+    #: ``"threads"`` (real worker threads, wall-clock timing).  Outputs
+    #: are identical across backends; only the timing source differs.
+    execution: str = "sim"
     spec: HardwareSpec = DEFAULT_SPEC
 
     def __post_init__(self) -> None:
@@ -80,6 +93,11 @@ class SaberConfig:
             raise SimulationError("enable at least one processor type")
         if self.use_cpu and self.cpu_workers <= 0:
             raise SimulationError("cpu_workers must be positive when use_cpu")
+        if self.execution not in ("sim", "threads"):
+            raise SimulationError(
+                f"unknown execution backend {self.execution!r} "
+                "(expected 'sim' or 'threads')"
+            )
 
 
 @dataclass
@@ -95,7 +113,11 @@ class QueryRun:
 
 @dataclass
 class Report:
-    """Outcome of one engine run (all times virtual)."""
+    """Outcome of one engine run.
+
+    Times are virtual (calibrated models) for the sim backend and
+    wall-clock seconds for the threads backend.
+    """
 
     measurements: Measurements
     elapsed_seconds: float
@@ -203,20 +225,28 @@ class SaberEngine:
             raise SimulationError("no queries registered")
         if tasks_per_query <= 0:
             raise SimulationError("tasks_per_query must be positive")
-        self._tasks_per_query = tasks_per_query
-        self._dispatch_active = True
-        self.loop.schedule(0.0, self._dispatch_next)
-        self.loop.run()
-        if self.queue or self._inflight:
-            raise SimulationError(
-                f"run ended with {len(self.queue)} queued and "
-                f"{self._inflight} in-flight tasks"
-            )
+        if self.config.execution == "threads":
+            elapsed = ThreadedExecutor(self).run(tasks_per_query)
+        else:
+            self._tasks_per_query = tasks_per_query
+            self._dispatch_active = True
+            self.loop.schedule(0.0, self._dispatch_next)
+            self.loop.run()
+            if self.queue or self._inflight:
+                raise SimulationError(
+                    f"run ended with {len(self.queue)} queued and "
+                    f"{self._inflight} in-flight tasks"
+                )
+            elapsed = self.loop.now
+        return self._build_report(elapsed, flush)
+
+    def _build_report(self, elapsed: float, flush: bool) -> Report:
+        """Backend-independent epilogue: outputs, counters, history."""
         outputs: dict[str, TupleBatch | None] = {}
         output_rows: dict[str, int] = {}
         for run in self.runs:
             if flush and self.config.execute_data:
-                run.result_stage.flush(self.loop.now)
+                run.result_stage.flush(elapsed)
             outputs[run.query.name] = (
                 run.result_stage.output() if self.config.collect_output else None
             )
@@ -226,7 +256,7 @@ class SaberEngine:
             history = self.scheduler.matrix.history
         return Report(
             measurements=self.measurements,
-            elapsed_seconds=self.loop.now,
+            elapsed_seconds=elapsed,
             outputs=outputs,
             output_rows=output_rows,
             matrix_history=history,

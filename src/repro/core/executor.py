@@ -1,0 +1,268 @@
+"""Threaded execution backend: §4's worker model on real threads.
+
+The sim backend replays the paper's architecture on a virtual clock;
+this backend runs it for real.  ``SaberConfig(execution="threads")``
+starts one **dispatcher thread** plus N **CPU worker threads** and (when
+enabled) one **GPGPU worker thread**:
+
+* the dispatcher alone pulls source data, appends to the circular input
+  buffers (single-writer discipline, §4.1) and cuts fixed-size query
+  tasks into the bounded system-wide queue, blocking on queue *and*
+  buffer backpressure;
+* workers claim tasks from the shared queue under the hybrid lookahead
+  scheduling discipline — ``Scheduler.select`` runs under the queue
+  lock, since it both inspects the queue and mutates the
+  switch-threshold counters;
+* workers only ever see read-only ``(start, stop)`` buffer ranges; the
+  per-query result stage re-orders out-of-order completions and frees
+  buffer space strictly in task order, which is what keeps the
+  single-writer buffers safe.
+
+The sim backend's *simulated* starvation guard (a scheduled re-check) is
+replaced by condition-variable wakeups: workers sleep on the queue
+condition and are woken whenever a task arrives, a task completes, or
+the dispatcher finishes/blocks — the forced-FCFS escape fires only when
+nothing is in flight and the dispatcher cannot make progress, mirroring
+the sim semantics exactly.
+
+Timing is wall-clock (``time.perf_counter`` relative to run start), so
+reported throughput is the real machine's — not the paper server's.
+The sim backend's *modelled* dispatch bandwidth is deliberately not
+applied (the whole point is to run as fast as the hardware allows), but
+a user-specified ``ingest_bandwidth`` cap *is* honoured: the dispatcher
+paces task creation so ingested bytes per wall-clock second stay under
+the cap, mirroring the sim backend's network-bound runs.
+Query *outputs* are backend-independent: the result stage emits in
+task-id order either way, which the equivalence tests assert.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from ..errors import SimulationError
+from ..sim.measurements import TaskRecord
+from .scheduler import CPU, GPU
+from .task import QueryTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import QueryRun, SaberEngine
+
+#: upper bound on a condition wait; a belt-and-braces re-check interval,
+#: not a scheduling period — every state change notifies the condition.
+_WAIT_TIMEOUT = 0.05
+
+
+class ThreadedExecutor:
+    """Runs a configured :class:`SaberEngine`'s queries on real threads."""
+
+    def __init__(self, engine: "SaberEngine") -> None:
+        self.engine = engine
+        self.config = engine.config
+        self.scheduler = engine.scheduler
+        self.measurements = engine.measurements
+        self.runs: "list[QueryRun]" = engine.runs
+        self._run_by_query = {id(run.query): run for run in self.runs}
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self.queue: "list[QueryTask]" = []
+        self._inflight = 0
+        self._dispatch_done = False
+        self._dispatch_waiting = False
+        self._failure: "BaseException | None" = None
+        self._t0 = 0.0
+
+    # -- clock ---------------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self, tasks_per_query: int) -> float:
+        """Execute ``tasks_per_query`` tasks per query; returns elapsed s."""
+        self._t0 = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=self._dispatch_loop,
+                args=(tasks_per_query,),
+                name="saber-dispatcher",
+                daemon=True,
+            )
+        ]
+        worker_id = 0
+        if self.config.use_cpu:
+            for _ in range(self.config.cpu_workers):
+                threads.append(
+                    threading.Thread(
+                        target=self._worker_loop,
+                        args=(CPU,),
+                        name=f"saber-cpu-{worker_id}",
+                        daemon=True,
+                    )
+                )
+                worker_id += 1
+        if self.config.use_gpu:
+            threads.append(
+                threading.Thread(
+                    target=self._worker_loop,
+                    args=(GPU,),
+                    name="saber-gpgpu",
+                    daemon=True,
+                )
+            )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if self._failure is not None:
+            raise self._failure
+        if self.queue or self._inflight:
+            raise SimulationError(
+                f"threaded run ended with {len(self.queue)} queued and "
+                f"{self._inflight} in-flight tasks"
+            )
+        return self._now()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._cond:
+            if self._failure is None:
+                self._failure = exc
+            self._cond.notify_all()
+
+    # -- dispatcher thread -----------------------------------------------------
+
+    def _dispatch_loop(self, tasks_per_query: int) -> None:
+        try:
+            rr_index = 0
+            ingest = self.config.ingest_bandwidth
+            ingest_credit = 0.0  # wall-clock time already "paid for"
+            while True:
+                with self._cond:
+                    pending = [
+                        r
+                        for r in self.runs
+                        if r.tasks_dispatched < tasks_per_query
+                    ]
+                    if not pending or self._failure is not None:
+                        break
+                    run = pending[rr_index % len(pending)]
+                    rr_index += 1
+                    while (
+                        len(self.queue) >= self.config.queue_capacity
+                        or not run.dispatcher.can_create_task()
+                    ):
+                        if self._failure is not None:
+                            return
+                        if not self._dispatch_waiting:
+                            self._dispatch_waiting = True
+                            # One wakeup on the transition so idle workers
+                            # re-check the starvation guard; notifying every
+                            # tick would thundering-herd the queue lock.
+                            self._cond.notify_all()
+                        self._cond.wait(_WAIT_TIMEOUT)
+                    self._dispatch_waiting = False
+                    # Reserve the slot before leaving the lock; only this
+                    # thread creates tasks, so the cursors stay coherent.
+                    run.tasks_dispatched += 1
+                # Source pull + buffer insert happen outside the queue
+                # lock: the buffers lock their own pointer advancement.
+                task = run.dispatcher.create_task(self._now())
+                with self._cond:
+                    self.queue.append(task)
+                    self._cond.notify_all()
+                if ingest is not None:
+                    # Token-bucket pacing against the ingest cap: each
+                    # task spends size/rate seconds of wall-clock budget.
+                    ingest_credit = (
+                        max(ingest_credit, self._now())
+                        + task.size_bytes / ingest
+                    )
+                    delay = ingest_credit - self._now()
+                    if delay > 0:
+                        time.sleep(delay)
+        except BaseException as exc:  # propagated to run() by _fail
+            self._fail(exc)
+        finally:
+            with self._cond:
+                self._dispatch_done = True
+                self._cond.notify_all()
+
+    # -- worker threads ---------------------------------------------------------
+
+    def _worker_loop(self, processor: str) -> None:
+        try:
+            while True:
+                with self._cond:
+                    task = None
+                    while True:
+                        if self._failure is not None:
+                            return
+                        task = self._claim(processor)
+                        if task is not None:
+                            self._inflight += 1
+                            break
+                        if self._dispatch_done and not self.queue:
+                            return
+                        self._cond.wait(_WAIT_TIMEOUT)
+                self._execute(task, processor)
+        except BaseException as exc:  # propagated to run() by _fail
+            self._fail(exc)
+
+    def _claim(self, processor: str) -> "QueryTask | None":
+        """Pick a task under the queue lock (scheduler state included)."""
+        if not self.queue:
+            return None
+        index = self.scheduler.select(self.queue, processor)
+        if index is None:
+            # Condition-variable starvation guard: when nothing is in
+            # flight and the dispatcher is blocked or done, no future
+            # event would ever satisfy the lookahead — take the head.
+            if self._inflight == 0 and (
+                self._dispatch_done or self._dispatch_waiting
+            ):
+                index = 0
+            else:
+                return None
+        task = self.queue.pop(index)
+        self._cond.notify_all()  # queue space freed; backlog changed
+        return task
+
+    def _execute(self, task: QueryTask, processor: str) -> None:
+        engine = self.engine
+        started = time.perf_counter()
+        slices, __, __, __ = engine._materialise(task)
+        result, __, __ = engine._run_operator(task, slices, gpu=processor == GPU)
+        duration = max(time.perf_counter() - started, 1e-9)
+        now = self._now()
+        run = self._run_by_query[id(task.query)]
+        self.measurements.record_task(
+            TaskRecord(
+                query=task.query.name,
+                processor=processor,
+                created=task.created_at,
+                completed=now,
+                input_bytes=task.size_bytes,
+                input_tuples=task.tuple_count,
+            )
+        )
+        if result is not None:
+            # The per-query result-stage lock serialises the in-order
+            # drain; buffer space is released in task order inside.
+            emitted = run.result_stage.submit(task, result, now)
+            for record in emitted:
+                self.measurements.record_latency(record.emit_time, record.data_time)
+        else:
+            self.measurements.record_latency(now, task.created_at)
+        if processor == CPU:
+            tasks_per_second = self.config.cpu_workers / duration
+        else:
+            tasks_per_second = 1.0 / duration
+        # Matrix bookkeeping locks internally — no queue-lock contention.
+        self.scheduler.task_finished(task, processor, tasks_per_second, now)
+        with self._cond:
+            run.tasks_completed += 1
+            self._inflight -= 1
+            self._cond.notify_all()

@@ -13,11 +13,18 @@ before its reuse), then processes results *in task-id order*:
    query's output stream in window order, followed by the task's locally
    complete results, preserving the total order the stream function
    requires.
+
+**Concurrency.**  ``submit`` may be called concurrently by worker
+threads (the threaded backend); a per-query lock serialises slot
+insertion and the in-order drain, so exactly one thread performs the
+assembly/output work for any given task id and buffer space is freed in
+task order regardless of completion order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..errors import ExecutionError
@@ -60,6 +67,7 @@ class ResultStage:
         self.on_release = on_release
         self._buffer: dict[int, _Slot] = {}
         self._next_task = 0
+        self._lock = threading.Lock()
         self._pending: dict[int, Any] = {}       # window id -> merged payload
         self._closed_flags: set[int] = set()     # windows whose close was seen
         self.emitted: list[EmittedResult] = []
@@ -72,21 +80,22 @@ class ResultStage:
         self, task: QueryTask, result: BatchResult, now: float
     ) -> "list[EmittedResult]":
         """Store one task's result; drain every in-order result available."""
-        if task.task_id in self._buffer or task.task_id < self._next_task:
-            raise ExecutionError(
-                f"duplicate result for task {task.task_id} of {task.query.name!r}"
-            )
-        if len(self._buffer) >= self.slots:
-            raise ExecutionError(
-                "result buffer overflow: increase slots or queue backpressure"
-            )
-        self._buffer[task.task_id] = _Slot(task, result, now)
-        emitted: list[EmittedResult] = []
-        while self._next_task in self._buffer:
-            slot = self._buffer.pop(self._next_task)
-            emitted.extend(self._process(slot, now))
-            self._next_task += 1
-        return emitted
+        with self._lock:
+            if task.task_id in self._buffer or task.task_id < self._next_task:
+                raise ExecutionError(
+                    f"duplicate result for task {task.task_id} of {task.query.name!r}"
+                )
+            if len(self._buffer) >= self.slots:
+                raise ExecutionError(
+                    "result buffer overflow: increase slots or queue backpressure"
+                )
+            self._buffer[task.task_id] = _Slot(task, result, now)
+            emitted: list[EmittedResult] = []
+            while self._next_task in self._buffer:
+                slot = self._buffer.pop(self._next_task)
+                emitted.extend(self._process(slot, now))
+                self._next_task += 1
+            return emitted
 
     # -- in-order processing ------------------------------------------------------
 
@@ -156,8 +165,10 @@ class ResultStage:
         """
         operator = self.query.operator
         chunks: list[TupleBatch] = []
-        for wid in sorted(self._pending):
-            payload = self._pending[wid]
+        with self._lock:
+            pending = sorted(self._pending.items())
+            self._pending.clear()
+        for wid, payload in pending:
             if isinstance(payload, list):
                 merged = payload[0]
                 for part in payload[1:]:
@@ -166,7 +177,6 @@ class ResultStage:
             rows = operator.finalize_window(wid, payload)
             if rows is not None and len(rows):
                 chunks.append(rows)
-        self._pending.clear()
         if not chunks:
             return []
         rows = TupleBatch.concat(chunks) if len(chunks) > 1 else chunks[0]

@@ -14,10 +14,18 @@ the asking processor — then the slower processor yields the earlier
 completion and takes it.  A *switch threshold* bounds how many
 consecutive tasks of one query may run on the same processor so the other
 processor's throughput keeps being observed.
+
+**Concurrency.**  ``select`` mutates the switch-threshold counters, so
+callers must serialise it with the queue they pass in — both backends do
+(the sim backend is single-threaded; the threaded backend calls it under
+the queue lock).  ``task_finished`` is safe to call from any worker
+thread: the throughput matrix locks its sample/refresh bookkeeping
+internally so completion feedback never contends on the queue lock.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import SchedulingError
@@ -45,6 +53,7 @@ class ThroughputMatrix:
         self._values: dict[tuple[str, str], float] = {}
         self._samples: dict[tuple[str, str], list[float]] = {}
         self._last_refresh = 0.0
+        self._lock = threading.Lock()
         self.history: list[tuple[float, dict[tuple[str, str], float]]] = []
 
     def value(self, query: str, processor: str) -> float:
@@ -62,19 +71,21 @@ class ThroughputMatrix:
         """Record one task's implied throughput sample."""
         if tasks_per_second <= 0:
             return
-        self._samples.setdefault((query, processor), []).append(tasks_per_second)
+        with self._lock:
+            self._samples.setdefault((query, processor), []).append(tasks_per_second)
 
     def maybe_refresh(self, now: float) -> bool:
         """Fold accumulated samples into C once per refresh period."""
-        if now - self._last_refresh < self.refresh_seconds:
-            return False
-        self._last_refresh = now
-        for key, samples in self._samples.items():
-            if samples:
-                self._values[key] = sum(samples) / len(samples)
-        self._samples = {}
-        self.history.append((now, dict(self._values)))
-        return True
+        with self._lock:
+            if now - self._last_refresh < self.refresh_seconds:
+                return False
+            self._last_refresh = now
+            for key, samples in self._samples.items():
+                if samples:
+                    self._values[key] = sum(samples) / len(samples)
+            self._samples = {}
+            self.history.append((now, dict(self._values)))
+            return True
 
 
 @dataclass

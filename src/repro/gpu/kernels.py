@@ -72,12 +72,10 @@ def gpu_join(operator: ThetaJoin, inputs: "list[StreamSlice]") -> BatchResult:
     """Count-then-compact join: delegates pair enumeration to the same
     window-fragment bookkeeping as the CPU path, but resolves each window
     pair with the two-step technique."""
-    original = operator.join_pairs
-
     def count_compact(left, right):
         nl, nr = len(left), len(right)
         if nl == 0 or nr == 0:
-            return original(left, right)
+            return operator.join_pairs(left, right)
         li = np.repeat(np.arange(nl), nr)
         ri = np.tile(np.arange(nr), nl)
         pairs = operator._combine(left.take(li), right.take(ri))
@@ -90,11 +88,9 @@ def gpu_join(operator: ThetaJoin, inputs: "list[StreamSlice]") -> BatchResult:
         write[blelloch_scan(mask.astype(np.int64))[mask]] = np.nonzero(mask)[0]
         return pairs.take(write)
 
-    operator.join_pairs = count_compact  # type: ignore[method-assign]
-    try:
-        return operator.process_batch(inputs)
-    finally:
-        operator.join_pairs = original  # type: ignore[method-assign]
+    # Per-call override — the operator instance is shared across worker
+    # threads in the threaded backend, so it must never be mutated here.
+    return operator.process_batch(inputs, pair_fn=count_compact)
 
 
 def execute_on_gpu(operator: Operator, inputs: "list[StreamSlice]") -> BatchResult:

@@ -14,7 +14,7 @@ kernel-launch overhead and a per-work-group (window-fragment) charge.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..gpu.device import DEFAULT_GPU, GpuDeviceSpec
 from ..gpu.pcie import DEFAULT_PCIE, PcieBus

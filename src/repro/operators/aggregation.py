@@ -23,7 +23,7 @@ import numpy as np
 from ..errors import QueryError
 from ..relational.schema import Attribute, Schema, TIMESTAMP_ATTRIBUTE
 from ..relational.tuples import TupleBatch
-from ..windows.assigner import FragmentState, WindowSet
+from ..windows.assigner import FragmentState
 from ..windows.panes import PrefixRangeAggregator, SparseTableRangeAggregator
 from .aggregate_functions import Accumulator, AggregateSpec, finalize
 from .base import BatchResult, CostProfile, Operator, StreamSlice

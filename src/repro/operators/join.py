@@ -107,9 +107,19 @@ class ThetaJoin(Operator):
 
     # -- batch operator function ------------------------------------------------
 
-    def process_batch(self, inputs: "list[StreamSlice]") -> BatchResult:
+    def process_batch(
+        self, inputs: "list[StreamSlice]", pair_fn=None
+    ) -> BatchResult:
+        """Batch join; ``pair_fn`` optionally overrides pair resolution.
+
+        The GPGPU kernel passes its count-then-compact implementation as
+        ``pair_fn`` — per call, never by mutating the shared operator,
+        which concurrent workers of the threaded backend also execute.
+        """
         if len(inputs) != 2:
             raise ExecutionError("ThetaJoin expects exactly two inputs")
+        if pair_fn is None:
+            pair_fn = self.join_pairs
         left, right = inputs
         lw, rw = left.windows, right.windows
         l_index = {int(w): i for i, w in enumerate(lw.window_ids)}
@@ -124,7 +134,7 @@ class ThetaJoin(Operator):
         for wid in window_ids:
             l_frag, l_done, l_final = self._fragment(left, lw, l_index.get(wid))
             r_frag, r_done, r_final = self._fragment(right, rw, r_index.get(wid))
-            local = self.join_pairs(l_frag, r_frag)
+            local = pair_fn(l_frag, r_frag)
             total_pairs += len(l_frag) * len(r_frag)
             matched += len(local)
             if l_final and r_final:

@@ -15,7 +15,6 @@ from typing import Any
 from ..errors import QueryError
 from ..relational.expressions import Predicate
 from ..relational.schema import Schema
-from ..relational.tuples import TupleBatch
 from .base import BatchResult, CostProfile, Operator, StreamSlice
 
 

@@ -10,9 +10,20 @@ We implement the same pointer discipline over a numpy byte array.  Indices
 are expressed in **tuples** (the schema has a fixed tuple width) and grow
 monotonically; physical positions are the index modulo capacity, exactly
 like the paper's identifier-modulo-slots result buffer.
+
+**Concurrency.**  The buffer supports the paper's single-writer regime
+used by the threaded execution backend: one dispatcher thread inserts,
+worker threads read task ranges, and the result stage advances the start
+pointer in task order.  A lock makes head/tail advancement atomic; data
+races cannot occur structurally because inserts only touch free slots
+(beyond ``tail``) while reads only touch retained slots (``[head,
+tail)``), and a task's range is never released before its results were
+processed.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -38,6 +49,7 @@ class CircularTupleBuffer:
         self._store = np.zeros(self.capacity, dtype=schema.dtype)
         self.head = 0  # start pointer (oldest retained tuple)
         self.tail = 0  # end pointer (next insert position)
+        self._lock = threading.Lock()
 
     # -- state -------------------------------------------------------------
 
@@ -66,21 +78,24 @@ class CircularTupleBuffer:
                 f"schema {self.schema.name!r}"
             )
         n = len(batch)
-        if n > self.free_slots:
-            raise BufferError_(
-                f"circular buffer overflow: inserting {n} tuples with only "
-                f"{self.free_slots} free slots (capacity {self.capacity})"
-            )
-        start = self.tail
-        first = start % self.capacity
-        end = first + n
-        if end <= self.capacity:
-            self._store[first:end] = batch.data
-        else:
-            split = self.capacity - first
-            self._store[first:] = batch.data[:split]
-            self._store[: end - self.capacity] = batch.data[split:]
-        self.tail += n
+        with self._lock:
+            if n > self.free_slots:
+                raise BufferError_(
+                    f"circular buffer overflow: inserting {n} tuples with only "
+                    f"{self.free_slots} free slots (capacity {self.capacity})"
+                )
+            start = self.tail
+            first = start % self.capacity
+            end = first + n
+            # The written region is entirely free (beyond ``tail``), so
+            # concurrent readers of retained ranges never observe it.
+            if end <= self.capacity:
+                self._store[first:end] = batch.data
+            else:
+                split = self.capacity - first
+                self._store[first:] = batch.data[:split]
+                self._store[: end - self.capacity] = batch.data[split:]
+            self.tail += n
         return start
 
     # -- consumer side -------------------------------------------------------
@@ -90,11 +105,12 @@ class CircularTupleBuffer:
 
         The range must lie within the retained region ``[head, tail)``.
         """
-        if start < self.head or stop > self.tail or start > stop:
-            raise BufferError_(
-                f"read range [{start}, {stop}) outside retained "
-                f"[{self.head}, {self.tail})"
-            )
+        with self._lock:
+            if start < self.head or stop > self.tail or start > stop:
+                raise BufferError_(
+                    f"read range [{start}, {stop}) outside retained "
+                    f"[{self.head}, {self.tail})"
+                )
         n = stop - start
         first = start % self.capacity
         end = first + n
@@ -113,9 +129,10 @@ class CircularTupleBuffer:
         task's free pointer.  Releasing backwards is a no-op (results can
         finish out of order; only the furthest pointer matters).
         """
-        if free_pointer > self.tail:
-            raise BufferError_(
-                f"cannot release past end pointer ({free_pointer} > {self.tail})"
-            )
-        if free_pointer > self.head:
-            self.head = free_pointer
+        with self._lock:
+            if free_pointer > self.tail:
+                raise BufferError_(
+                    f"cannot release past end pointer ({free_pointer} > {self.tail})"
+                )
+            if free_pointer > self.head:
+                self.head = free_pointer

@@ -1,13 +1,17 @@
-"""Virtual-time performance accounting.
+"""Performance accounting (virtual or wall-clock time).
 
 Collects the quantities the paper reports: processing throughput
 (bytes/s and tuples/s), end-to-end latency, per-processor contribution
-splits (Fig. 7), and time series of throughput (Fig. 16).
+splits (Fig. 7), and time series of throughput (Fig. 16).  The sim
+backend records virtual times; the threaded backend records wall-clock
+times from concurrent workers, so recording is internally locked.
+Derived metrics are computed after a run completes.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,12 +35,17 @@ class Measurements:
 
     records: "list[TaskRecord]" = field(default_factory=list)
     latencies: "list[float]" = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_task(self, record: TaskRecord) -> None:
-        self.records.append(record)
+        with self._lock:
+            self.records.append(record)
 
     def record_latency(self, emit_time: float, data_time: float) -> None:
-        self.latencies.append(emit_time - data_time)
+        with self._lock:
+            self.latencies.append(emit_time - data_time)
 
     # -- throughput -----------------------------------------------------------
 

@@ -1,6 +1,14 @@
-"""Pytest configuration: make test helpers importable."""
+"""Pytest configuration: make the package and test helpers importable.
+
+The ``src/`` layout means a plain checkout cannot import ``repro``
+without ``pip install -e .``; inserting ``src`` here lets
+``python -m pytest`` work either way.
+"""
 
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
+_HERE = Path(__file__).resolve().parent
+for _path in (_HERE, _HERE.parent / "src"):
+    if str(_path) not in sys.path:
+        sys.path.insert(0, str(_path))

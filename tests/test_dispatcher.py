@@ -6,12 +6,9 @@ import pytest
 from repro.core.dispatcher import Dispatcher
 from repro.core.query import Query
 from repro.errors import DispatchError
-from repro.operators.aggregate_functions import AggregateSpec
-from repro.operators.aggregation import Aggregation
 from repro.operators.join import ThetaJoin
 from repro.operators.projection import identity_projection
 from repro.relational.expressions import col
-from repro.relational.schema import Schema
 from repro.windows.definition import WindowDefinition
 from repro.workloads.synthetic import SyntheticSource, SYNTHETIC_SCHEMA
 

@@ -1,6 +1,5 @@
 """Integration tests for the SABER engine (DES wiring, configs, modes)."""
 
-import numpy as np
 import pytest
 
 from repro.core.engine import SaberConfig, SaberEngine

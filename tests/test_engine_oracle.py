@@ -137,8 +137,8 @@ def test_join_oracle_small():
     right = reference.collect(SyntheticSource(seed=18), 400, 50)
     expected = reference.window_join(
         window, left, right,
-        predicate=lambda l, r: l["a3"] < r["a3"],
-        combine=lambda l, r: (l["timestamp"], l["a3"], r["a3"]),
+        predicate=lambda lhs, rhs: lhs["a3"] < rhs["a3"],
+        combine=lambda lhs, rhs: (lhs["timestamp"], lhs["a3"], rhs["a3"]),
     )
     assert len(out) == len(expected)
     got = sorted(zip(out.timestamps.tolist(), out.column("a3").tolist(),

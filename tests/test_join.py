@@ -94,7 +94,10 @@ class TestWindowedJoin:
         merged = op.merge_partials(r1.partials[0], r2.partials[0])
         assert op.window_ready(merged)
         rows = op.finalize_window(0, merged)
-        key = lambda b: sorted(zip(b.column("x").tolist(), b.column("y").tolist()))
+
+        def key(b):
+            return sorted(zip(b.column("x").tolist(), b.column("y").tolist()))
+
         assert key(rows) == key(whole)
 
     def test_window_ready_requires_both_sides(self):

@@ -1,6 +1,5 @@
 """Unit tests for relational schemas and the binary tuple layout."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SchemaError

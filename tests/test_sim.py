@@ -1,6 +1,5 @@
 """Unit tests for the event loop and virtual-time measurements."""
 
-import numpy as np
 import pytest
 
 from repro.errors import SimulationError

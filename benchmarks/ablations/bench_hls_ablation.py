@@ -18,7 +18,8 @@ sys.path.insert(0, str(Path(__file__).parent.parent))
 import pytest
 
 from common import gbps, run_saber
-from repro.core.engine import SaberConfig, SaberEngine
+from repro.api import SaberSession
+from repro.core.engine import SaberConfig
 from repro.core.scheduler import HlsScheduler, ThroughputMatrix
 from repro.workloads.synthetic import select_query
 
@@ -41,14 +42,16 @@ def run_threshold_sweep():
 def run_strict_comparison():
     results = {}
     for label, strict in (("line-12 fallback", False), ("strict lookahead", True)):
-        engine = SaberEngine(
+        session = SaberSession(
             SaberConfig(execute_data=False, collect_output=False)
         )
-        engine.scheduler = HlsScheduler(
+        # Scheduler injection is an ablation-only hook: the session's
+        # engine is public precisely for this kind of experiment.
+        session.engine.scheduler = HlsScheduler(
             ThroughputMatrix(refresh_seconds=1e-3), strict_lookahead=strict
         )
-        engine.add_query(select_query(64))
-        report = engine.run(tasks_per_query=150)
+        session.submit(select_query(64))
+        report = session.run(tasks_per_query=150)
         results[label] = report.throughput_bytes
     return results
 

@@ -39,7 +39,8 @@ if str(_ROOT / "src") not in sys.path:
 
 import numpy as np
 
-from repro.core.engine import Report, SaberConfig, SaberEngine
+from repro.api import SaberSession
+from repro.core.engine import Report, SaberConfig
 from repro.workloads.synthetic import (
     TUPLE_SIZE,
     SyntheticSource,
@@ -65,8 +66,8 @@ WORKLOAD = [
 
 
 def run_backend(execution, make_query, seeds, tasks, task_tuples, workers):
-    """One engine run; returns the report, the output batch and wall time."""
-    engine = SaberEngine(
+    """One session run; returns the report, the output batch and wall time."""
+    session = SaberSession(
         SaberConfig(
             execution=execution,
             task_size_bytes=task_tuples * TUPLE_SIZE,
@@ -75,14 +76,15 @@ def run_backend(execution, make_query, seeds, tasks, task_tuples, workers):
             collect_output=True,
         )
     )
-    query = make_query()
-    engine.add_query(
-        query, [SyntheticSource(seed=s, groups=8) for s in seeds]
-    )
-    started = time.perf_counter()
-    report = engine.run(tasks_per_query=tasks)
-    wall = time.perf_counter() - started
-    return report, report.outputs[query.name], wall, query.name
+    with session:
+        query = make_query()
+        handle = session.submit(
+            query, sources=[SyntheticSource(seed=s, groups=8) for s in seeds]
+        )
+        started = time.perf_counter()
+        report = session.run(tasks_per_query=tasks)
+        wall = time.perf_counter() - started
+        return report, handle.output(), wall, query.name
 
 
 def outputs_equal(a, b, tolerant):

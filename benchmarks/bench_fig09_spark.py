@@ -9,44 +9,36 @@ limited by its per-micro-batch scheduling overhead.
 import pytest
 
 from common import run_saber
+from repro.api import Stream, agg
 from repro.baselines.sparklike import SparkLikeEngine
-from repro.core.query import Query
-from repro.operators.aggregate_functions import AggregateSpec
-from repro.operators.aggregation import Aggregation
-from repro.operators.compose import FilteredWindows
-from repro.operators.groupby import GroupedAggregation
 from repro.relational.expressions import col
-from repro.windows.definition import WindowDefinition
 from repro.workloads.cluster import ClusterMonitoringSource, TASK_EVENTS_SCHEMA
 from repro.workloads.smartgrid import SMART_GRID_SCHEMA, SmartGridSource
 
 NETWORK = 1.25e9
 #: 500 ms tumbling windows at millisecond timestamps.
-TUMBLING = WindowDefinition.time(500, 500)
+TUMBLING = dict(time=500, slide=500)
 
 
 def tumbling_queries():
-    cm1 = Query(
-        "CM1",
-        GroupedAggregation(
-            TASK_EVENTS_SCHEMA, ["category"], [AggregateSpec("sum", "cpu")]
-        ),
-        [TUMBLING],
+    cm1 = (
+        Stream.named("TaskEvents", TASK_EVENTS_SCHEMA)
+        .window(**TUMBLING)
+        .group_by("category", agg.sum("cpu"))
+        .build("CM1")
     )
-    cm2 = Query(
-        "CM2",
-        FilteredWindows(
-            col("eventType").eq(1),
-            GroupedAggregation(
-                TASK_EVENTS_SCHEMA, ["jobId"], [AggregateSpec("avg", "cpu")]
-            ),
-        ),
-        [TUMBLING],
+    cm2 = (
+        Stream.named("TaskEvents", TASK_EVENTS_SCHEMA)
+        .window(**TUMBLING)
+        .where(col("eventType").eq(1))
+        .group_by("jobId", agg.avg("cpu"))
+        .build("CM2")
     )
-    sg1 = Query(
-        "SG1",
-        Aggregation(SMART_GRID_SCHEMA, [AggregateSpec("avg", "value")]),
-        [TUMBLING],
+    sg1 = (
+        Stream.named("SmartGridStr", SMART_GRID_SCHEMA)
+        .window(**TUMBLING)
+        .aggregate(agg.avg("value"))
+        .build("SG1")
     )
     return [
         (cm1, [ClusterMonitoringSource(seed=3, tuples_per_second=4096)]),

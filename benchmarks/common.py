@@ -1,8 +1,14 @@
-"""Shared helpers for the figure-reproduction benchmarks."""
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark runs through :class:`repro.api.SaberSession`, the public
+session layer; ``run_saber`` is the one wiring point, so the figure
+scripts stay backend- and API-agnostic.
+"""
 
 from __future__ import annotations
 
-from repro.core.engine import Report, SaberConfig, SaberEngine
+from repro.api import SaberSession
+from repro.core.engine import Report, SaberConfig
 
 GB = 1e9
 MB = 1e6
@@ -14,7 +20,7 @@ def run_saber(
     execution: str = "sim",
     **config_kwargs,
 ) -> Report:
-    """Run one engine instance over (query, sources) pairs.
+    """Run one session over (query, sources) pairs.
 
     ``execution`` selects the backend (``"sim"`` virtual time or
     ``"threads"`` real workers), so every figure benchmark can be re-run
@@ -28,10 +34,10 @@ def run_saber(
         execution=execution,
     )
     defaults.update(config_kwargs)
-    engine = SaberEngine(SaberConfig(**defaults))
+    session = SaberSession(SaberConfig(**defaults))
     for query, sources in queries_and_sources:
-        engine.add_query(query, sources)
-    return engine.run(tasks_per_query=tasks_per_query)
+        session.submit(query, sources=sources)
+    return session.run(tasks_per_query=tasks_per_query)
 
 
 def run_simulated(query, tasks: int = 150, **config_kwargs) -> Report:

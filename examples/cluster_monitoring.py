@@ -15,7 +15,7 @@ Run with::
     python examples/cluster_monitoring.py
 """
 
-from repro import SaberConfig, SaberEngine
+from repro import SaberConfig, SaberSession
 from repro.workloads.cluster import (
     ClusterMonitoringSource,
     cm1_query,
@@ -26,20 +26,25 @@ from repro.workloads.cluster import (
 
 def run_monitoring_queries() -> None:
     print("== CM1/CM2 cluster monitoring ==")
-    engine = SaberEngine(SaberConfig(task_size_bytes=48 << 10, cpu_workers=8))
-    cm1, cm2 = cm1_query(), cm2_query()
-    engine.add_query(cm1, [ClusterMonitoringSource(seed=1, tuples_per_second=64)])
-    engine.add_query(cm2, [ClusterMonitoringSource(seed=1, tuples_per_second=64)])
-    report = engine.run(tasks_per_query=10)
-    for query in (cm1, cm2):
-        out = report.outputs[query.name]
-        print(
-            f"  {query.name}: {report.query_throughput(query.name) / 1e6:7.1f} MB/s, "
-            f"{report.output_rows[query.name]} rows"
-        )
-        if out is not None and len(out):
-            row = out.to_rows()[0]
-            print(f"    first row: {row}")
+    with SaberSession(task_size_bytes=48 << 10, cpu_workers=8) as session:
+        handles = [
+            session.submit(
+                query,
+                sources=[ClusterMonitoringSource(seed=1, tuples_per_second=64)],
+            )
+            for query in (cm1_query(), cm2_query())
+        ]
+        report = session.run(tasks_per_query=10)
+        for handle in handles:
+            out = handle.output()
+            print(
+                f"  {handle.name}: "
+                f"{report.query_throughput(handle.name) / 1e6:7.1f} MB/s, "
+                f"{handle.output_rows} rows"
+            )
+            if out is not None and len(out):
+                row = out.to_rows()[0]
+                print(f"    first row: {row}")
 
 
 def run_adaptive_scheduling() -> None:
@@ -53,17 +58,16 @@ def run_adaptive_scheduling() -> None:
         base_failure_rate=0.005,
         failure_surge=(100 * 1024, 0.4, 0.5),
     )
-    engine = SaberEngine(
-        SaberConfig(
-            task_size_bytes=48 << 10,
-            cpu_workers=15,
-            matrix_refresh_seconds=1e-4,
-            switch_threshold=10,
-            collect_output=False,
-        )
+    config = SaberConfig(
+        task_size_bytes=48 << 10,
+        cpu_workers=15,
+        matrix_refresh_seconds=1e-4,
+        switch_threshold=10,
+        collect_output=False,
     )
-    engine.add_query(query, [source])
-    report = engine.run(tasks_per_query=400)
+    with SaberSession(config) as session:
+        session.submit(query, sources=[source])
+        report = session.run(tasks_per_query=400)
 
     records = sorted(report.measurements.records, key=lambda r: r.created)
     bucket = 20

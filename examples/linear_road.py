@@ -14,7 +14,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro import SaberConfig, SaberEngine
+from repro import SaberSession
 from repro.workloads.linearroad import (
     LinearRoadSource,
     lrb1_query,
@@ -25,9 +25,11 @@ from repro.workloads.linearroad import (
 
 
 def run_query(query, rate, tasks=10):
-    engine = SaberEngine(SaberConfig(task_size_bytes=32 << 10, cpu_workers=8))
-    engine.add_query(query, [LinearRoadSource(seed=5, tuples_per_second=rate)])
-    return engine.run(tasks_per_query=tasks)
+    with SaberSession(task_size_bytes=32 << 10, cpu_workers=8) as session:
+        session.submit(
+            query, sources=[LinearRoadSource(seed=5, tuples_per_second=rate)]
+        )
+        return session.run(tasks_per_query=tasks)
 
 
 def main() -> None:

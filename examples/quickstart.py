@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Quickstart: run a windowed streaming SQL query on the hybrid engine.
+"""Quickstart: the fluent Stream DSL and a long-lived SaberSession.
 
-Demonstrates the three-step workflow:
+Demonstrates the public API end to end:
 
-1. declare a stream schema;
-2. write a CQL query (window clause + relational operators);
-3. run it on the SABER engine and inspect throughput, latency and the
-   CPU/GPGPU contribution split.
+1. declare a stream schema and a source;
+2. build a windowed GROUP-BY with the fluent ``Stream`` builder — plan
+   validation and schema inference happen at build time;
+3. run it in a ``SaberSession``, pulling ordered result chunks from the
+   query handle;
+4. run the *same* query written in the paper's CQL dialect through
+   ``session.sql`` and keep processing incrementally.
 
 Run with::
 
@@ -15,7 +18,7 @@ Run with::
 
 import numpy as np
 
-from repro import SaberConfig, SaberEngine, Schema, parse_cql
+from repro import SaberSession, Schema, Stream, agg
 from repro.relational.tuples import TupleBatch
 
 
@@ -43,39 +46,55 @@ class SensorSource:
         )
 
 
-def main() -> None:
+def run_builder() -> None:
+    """The fluent builder: source → window → group_by → build."""
     source = SensorSource()
-
-    # A sliding-window GROUP-BY, written in the paper's CQL dialect:
-    # a 60-second window sliding every 5 seconds, averaged per device.
-    query = parse_cql(
-        """
-        select timestamp, device, avg(reading) as avgReading
-        from Sensors [range 60 slide 5]
-        group by device
-        """,
-        schemas={"Sensors": source.schema},
-        name="device_averages",
+    query = (
+        Stream.source(source)
+        # A 60-second window sliding every 5 seconds, averaged per device.
+        .window(time=60, slide=5)
+        .group_by("device", agg.avg("reading", "avgReading"))
+        .build("device_averages")
     )
+    print(f"inferred output schema: {query.output_schema.attribute_names}")
 
-    engine = SaberEngine(
-        SaberConfig(
-            task_size_bytes=32 << 10,   # the physical batch size (phi)
-            cpu_workers=8,
+    with SaberSession(task_size_bytes=32 << 10, cpu_workers=8) as session:
+        handle = session.submit(query)      # source already bound by the plan
+        report = session.run(tasks_per_query=64)
+
+        print(f"throughput : {report.throughput_bytes / 1e6:8.1f} MB/s (virtual)")
+        print(f"latency    : {report.latency_mean * 1e3:8.2f} ms mean")
+        print(f"split      : {report.processor_share()}")
+
+        output = handle.output()
+        print(f"\nfirst window results ({len(output)} rows total):")
+        for row in output.to_rows()[:8]:
+            ts, device, avg_reading = row
+            print(f"  t={ts:4d}  device={device}  avg={avg_reading:6.2f}")
+
+
+def run_sql() -> None:
+    """The same query in CQL, on a long-lived incremental session."""
+    with SaberSession(task_size_bytes=32 << 10, cpu_workers=8) as session:
+        session.register_stream("Sensors", SensorSource())
+        handle = session.sql(
+            """
+            select timestamp, device, avg(reading) as avgReading
+            from Sensors [range 60 slide 5]
+            group by device
+            """,
+            name="device_averages",
         )
-    )
-    engine.add_query(query, [source])
-    report = engine.run(tasks_per_query=64)
+        session.run(tasks_per_query=32)     # process some tasks ...
+        first = handle.output_rows
+        session.run(tasks_per_query=32)     # ... then some more
+        print(f"\nSQL session: {first} rows after 32 tasks, "
+              f"{handle.output_rows} after 64")
 
-    print(f"throughput : {report.throughput_bytes / 1e6:8.1f} MB/s (virtual)")
-    print(f"latency    : {report.latency_mean * 1e3:8.2f} ms mean")
-    print(f"split      : {report.processor_share()}")
 
-    output = report.outputs[query.name]
-    print(f"\nfirst window results ({len(output)} rows total):")
-    for row in output.to_rows()[:8]:
-        ts, device, avg = row
-        print(f"  t={ts:4d}  device={device}  avg={avg:6.2f}")
+def main() -> None:
+    run_builder()
+    run_sql()
 
 
 if __name__ == "__main__":

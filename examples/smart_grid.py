@@ -18,7 +18,7 @@ from collections import Counter
 
 import numpy as np
 
-from repro import SaberConfig, SaberEngine
+from repro import SaberSession
 from repro.workloads.smartgrid import (
     DerivedLoadSource,
     SmartGridSource,
@@ -31,10 +31,10 @@ from repro.workloads.smartgrid import (
 def run_base_queries() -> None:
     """SG1 + SG2 side by side on one engine over the raw meter stream."""
     sg1, sg2 = sg1_query(), sg2_query()
-    engine = SaberEngine(SaberConfig(task_size_bytes=64 << 10, cpu_workers=8))
-    engine.add_query(sg1, [SmartGridSource(seed=1, tuples_per_second=4)])
-    engine.add_query(sg2, [SmartGridSource(seed=1, tuples_per_second=4)])
-    report = engine.run(tasks_per_query=12)
+    with SaberSession(task_size_bytes=64 << 10, cpu_workers=8) as session:
+        session.submit(sg1, sources=[SmartGridSource(seed=1, tuples_per_second=4)])
+        session.submit(sg2, sources=[SmartGridSource(seed=1, tuples_per_second=4)])
+        report = session.run(tasks_per_query=12)
     print("== SG1/SG2 over the raw smart-meter stream ==")
     for query in (sg1, sg2):
         print(
@@ -51,10 +51,14 @@ def run_outlier_join() -> None:
     """SG3: join the derived local/global averages, count outlier houses."""
     query = sg3_query()
     derived = DerivedLoadSource(seed=7, plugs=16, anomaly_rate=0.08)
-    engine = SaberEngine(SaberConfig(task_size_bytes=16 << 10, cpu_workers=8))
-    engine.add_query(query, [derived.stream("local"), derived.stream("global")])
-    report = engine.run(tasks_per_query=16)
-    out = report.outputs[query.name]
+    with SaberSession(task_size_bytes=16 << 10, cpu_workers=8) as session:
+        # Register both derived streams once; submit() resolves the
+        # query's inputs against the registry by stream name.
+        session.register_stream("LocalLoadStr", derived.stream("local"))
+        session.register_stream("GlobalLoadStr", derived.stream("global"))
+        handle = session.submit(query)
+        report = session.run(tasks_per_query=16)
+    out = handle.output()
     print("\n== SG3 outlier join ==")
     print(f"  throughput: {report.query_throughput(query.name) / 1e6:.1f} MB/s")
     print(f"  plug readings above the global average: {len(out)}")

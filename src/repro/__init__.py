@@ -5,23 +5,29 @@ for Heterogeneous Architectures* (Koliousis et al., SIGMOD 2016).  See
 DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 
-Quickstart::
+Quickstart — the public surface is :mod:`repro.api` (fluent ``Stream``
+builder + long-lived ``SaberSession``)::
 
-    from repro import (
-        SaberEngine, SaberConfig, parse_cql, Schema,
-    )
+    from repro import SaberSession, Stream, agg, col
     from repro.workloads import SyntheticSource
 
-    schema = Schema.with_timestamp("value:float, key:int")
-    query = parse_cql(
-        "select timestamp, key, sum(value) as total "
-        "from S [rows 1024 slide 256] group by key",
-        schemas={"S": schema},
+    source = SyntheticSource(seed=7)
+    query = (
+        Stream.source(source)
+        .window(rows=1024, slide=256)
+        .group_by("a2", agg.sum("a1", "total"))
+        .build("totals")
     )
-    engine = SaberEngine(SaberConfig())
-    engine.add_query(query, [SyntheticSource(schema, seed=7)])
-    report = engine.run(tasks_per_query=64)
-    print(report.throughput_bytes / 1e9, "GB/s")
+    with SaberSession(cpu_workers=8) as session:
+        handle = session.submit(query, sources=[source])
+        report = session.run(tasks_per_query=64)
+        print(report.throughput_bytes / 1e9, "GB/s")
+        print(handle.output())
+
+The same query in the CQL dialect goes through ``session.sql(...)``
+after ``session.register_stream("S", source)``.  The pre-existing entry
+points (hand-built ``Query``, ``parse_cql``, direct ``SaberEngine``
+wiring) remain as deprecated shims — see ``docs/api.md``.
 """
 
 from .errors import SaberError
@@ -55,9 +61,11 @@ from .core import (
     SaberConfig,
     SaberEngine,
     StreamFunction,
+    compile_statement,
     parse_cql,
 )
 from .hardware import DEFAULT_SPEC, CpuModel, GpuModel, HardwareSpec
+from .api import QueryHandle, SaberSession, Stream, agg
 
 __version__ = "1.0.0"
 
@@ -92,6 +100,11 @@ __all__ = [
     "CPU",
     "GPU",
     "parse_cql",
+    "compile_statement",
+    "Stream",
+    "agg",
+    "SaberSession",
+    "QueryHandle",
     "HardwareSpec",
     "DEFAULT_SPEC",
     "CpuModel",

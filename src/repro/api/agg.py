@@ -1,0 +1,48 @@
+"""Aggregate constructors for the fluent Stream DSL.
+
+The builder spells aggregations as ``agg.<function>(column, alias)``::
+
+    from repro.api import Stream, agg
+
+    Stream.named("TaskEvents", schema) \
+        .window(time=60, slide=1) \
+        .group_by("category", agg.sum("cpu", "totalCpu")) \
+        .build("CM1")
+
+Each helper returns the engine's
+:class:`~repro.operators.aggregate_functions.AggregateSpec`, so anything
+the operator layer accepts (the paper's sum/count/avg/min/max set, §3)
+is expressible here.  Omitting ``alias`` falls back to the spec's
+``<function>_<column>`` default.
+"""
+
+from __future__ import annotations
+
+from ..operators.aggregate_functions import AggregateSpec
+
+__all__ = ["sum", "count", "avg", "min", "max"]
+
+
+def sum(column: str, alias: str = "") -> AggregateSpec:  # noqa: A001
+    """``sum(column) as alias``."""
+    return AggregateSpec("sum", column, alias)
+
+
+def count(column: "str | None" = None, alias: str = "") -> AggregateSpec:
+    """``count(*)`` (no column) or ``count(column) as alias``."""
+    return AggregateSpec("count", column, alias)
+
+
+def avg(column: str, alias: str = "") -> AggregateSpec:
+    """``avg(column) as alias``."""
+    return AggregateSpec("avg", column, alias)
+
+
+def min(column: str, alias: str = "") -> AggregateSpec:  # noqa: A001
+    """``min(column) as alias``."""
+    return AggregateSpec("min", column, alias)
+
+
+def max(column: str, alias: str = "") -> AggregateSpec:  # noqa: A001
+    """``max(column) as alias``."""
+    return AggregateSpec("max", column, alias)

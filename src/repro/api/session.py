@@ -1,0 +1,533 @@
+"""Long-lived session over the SABER engine.
+
+:class:`SaberSession` replaces the ad-hoc ``SaberEngine`` wiring
+(construct engine → ``add_query`` → one-shot ``run``) with a single
+coherent surface::
+
+    with SaberSession(cpu_workers=8) as session:
+        session.register_stream("TaskEvents", ClusterMonitoringSource(seed=1))
+        handle = session.sql(
+            "select timestamp, category, sum(cpu) as totalCpu "
+            "from TaskEvents [range 60 slide 1] group by category",
+            name="CM1",
+        )
+        session.run(tasks_per_query=32)          # blocking, incremental
+        for chunk in handle.results():           # ordered output chunks
+            ...
+
+Sessions are *long-lived*: ``run`` may be called repeatedly (each call
+processes N more tasks per query on top of what ran before, over either
+backend), or a run can be started in the background with :meth:`start`
+and consumed incrementally through :meth:`QueryHandle.results`, then
+ended with :meth:`stop` — the engine's cooperative stop drains in-flight
+tasks, and ``stop(drain=True)`` additionally finalises still-open
+windows.
+
+For unbounded streaming deployments pass ``collect_output=False``:
+sinks and ``results()`` still receive every full output chunk
+(``collect_output`` governs engine-side *retention* for
+:meth:`QueryHandle.output`, not delivery).  Consumed chunks are
+released immediately; a query nobody consumes keeps at most the last
+``_MAX_BUFFERED_CHUNKS`` chunks (oldest dropped, counted on
+``handle.dropped_chunks``), so memory stays bounded either way.
+
+Source binding is three-way, checked in order: explicit ``sources=`` at
+:meth:`submit`; sources bound into the :class:`~repro.api.Stream` plan
+via ``Stream.source``; and the session's stream registry
+(:meth:`register_stream`), matched by stream name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+from typing import Any, Callable, Iterator
+
+from ..core.cql import compile_statement
+from ..core.engine import Report, SaberConfig, SaberEngine
+from ..core.query import Query
+from ..errors import SessionError
+from ..relational.tuples import TupleBatch
+from .builder import Stream
+
+__all__ = ["QueryHandle", "SaberSession"]
+
+#: results() poll interval: a belt-and-braces re-check of the session
+#: state; every emitted chunk and every run transition notifies waiters.
+_RESULTS_WAIT = 0.05
+
+#: backstop on the per-handle backlog of chunks emitted but not yet
+#: consumed by results(): beyond this, the oldest chunks are discarded
+#: (counted in :attr:`QueryHandle.dropped_chunks`) so an unconsumed
+#: query cannot grow memory without bound during a long-lived run.
+#: Queries that need every chunk either consume them (results(), sinks)
+#: or retain engine-side via ``collect_output=True`` + ``output()``.
+_MAX_BUFFERED_CHUNKS = 8192
+
+
+class QueryHandle:
+    """Per-query view of a session: incremental results, sinks, output."""
+
+    def __init__(
+        self,
+        session: "SaberSession",
+        query: Query,
+        max_buffered: int = _MAX_BUFFERED_CHUNKS,
+    ) -> None:
+        self._session = session
+        self.query = query
+        self.name = query.name
+        self._cond = threading.Condition()
+        self._chunks: "deque[TupleBatch]" = deque(maxlen=max_buffered)
+        self._sinks: "list[Callable[[TupleBatch], None]]" = []
+        #: chunks discarded because the results() backlog hit its cap.
+        self.dropped_chunks = 0
+
+    # -- engine-facing ---------------------------------------------------------
+
+    def _on_emit(self, record) -> None:
+        """Result-stage sink hook (worker thread, result-stage lock).
+
+        With sinks attached, the sinks *are* the consumers and nothing is
+        buffered; otherwise chunks queue for :meth:`results`, which
+        releases them as they are consumed — either way a long-lived
+        streaming run does not accumulate output in the handle.
+        """
+        sinks = list(self._sinks)
+        if sinks:
+            for sink in sinks:
+                sink(record.rows)
+            return
+        with self._cond:
+            if len(self._chunks) == self._chunks.maxlen:
+                self.dropped_chunks += 1    # deque discards the oldest
+            self._chunks.append(record.rows)
+            self._cond.notify_all()
+
+    def _wake(self) -> None:
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- public ----------------------------------------------------------------
+
+    def add_sink(self, callback: "Callable[[TupleBatch], None]") -> "QueryHandle":
+        """Register a per-query callback, fired live for every ordered
+        output chunk *on the emitting worker's thread* — keep it fast and
+        do not call back into the session from it.  Sinks take over
+        result consumption: chunks emitted while any sink is attached are
+        not buffered for :meth:`results`."""
+        self._sinks.append(callback)
+        return self
+
+    def results(self) -> "Iterator[TupleBatch]":
+        """Consume the query's ordered output chunks (single consumer).
+
+        If the session never ran, a blocking :meth:`SaberSession.run`
+        with the session's default task budget happens first.  While a
+        background run (:meth:`SaberSession.start`) is active, iteration
+        is *incremental*: chunks are yielded as workers emit them and the
+        iterator blocks awaiting more until the run finishes.  Each chunk
+        is delivered exactly once and released afterwards, so unbounded
+        streaming runs hold only the unconsumed backlog; the full
+        concatenated output remains available via :meth:`output` when
+        the engine collects it.
+        """
+        self._session._ensure_ran()
+        while True:
+            with self._cond:
+                while not self._chunks and self._session.is_running:
+                    self._cond.wait(_RESULTS_WAIT)
+                if self._chunks:
+                    chunk = self._chunks.popleft()
+                else:
+                    return
+            yield chunk
+
+    def output(self) -> "TupleBatch | None":
+        """The concatenated output stream (requires ``collect_output``)."""
+        run = self._session._engine_run(self.query)
+        return run.result_stage.output()
+
+    @property
+    def output_rows(self) -> int:
+        return self._session._engine_run(self.query).result_stage.output_rows
+
+    @property
+    def tasks_completed(self) -> int:
+        return self._session._engine_run(self.query).tasks_completed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryHandle({self.name!r}, pending_chunks={len(self._chunks)})"
+
+
+class SaberSession:
+    """Long-lived, context-managed front door to the SABER engine."""
+
+    def __init__(
+        self,
+        config: "SaberConfig | None" = None,
+        *,
+        tasks_per_query: int = 64,
+        **config_kwargs: Any,
+    ) -> None:
+        """Either pass a prepared :class:`SaberConfig` or its keyword
+        arguments (``SaberSession(execution="threads", cpu_workers=8)``);
+        ``tasks_per_query`` is the default per-``run`` task budget."""
+        if config is not None and config_kwargs:
+            raise SessionError("pass either a SaberConfig or config kwargs, not both")
+        self.config = config if config is not None else SaberConfig(**config_kwargs)
+        self.engine = SaberEngine(self.config)
+        self._default_tasks = tasks_per_query
+        self._streams: "dict[str, Any]" = {}
+        self._handles: "dict[str, QueryHandle]" = {}
+        self._lock = threading.Lock()
+        self._target = 0            # cumulative tasks per query across runs
+        self._report: "Report | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._run_error: "BaseException | None" = None
+        self._running = False
+        self._run_seq = 0           # bumped per run; lets a stopper detect
+                                    # that the run it targeted has ended
+        self._run_cond = threading.Condition(self._lock)
+        self._run_done = threading.Event()   # set whenever no run is active
+        self._run_done.set()
+        self._closed = False
+
+    # -- stream registry -------------------------------------------------------
+
+    def register_stream(self, name: str, source: Any) -> "SaberSession":
+        """Register a named source once; ``sql``/``submit`` resolve FROM
+        clauses and unbound plans against the registry by stream name."""
+        schema = getattr(source, "schema", None)
+        if schema is None:
+            raise SessionError(
+                f"stream {name!r}: source has no .schema attribute"
+            )
+        self._streams[name] = source
+        return self
+
+    def stream(self, name: str) -> Stream:
+        """A builder plan over a registered stream (source already bound)."""
+        source = self._source_for(name)
+        return Stream.source(source, name=name)
+
+    def _source_for(self, name: str) -> Any:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise SessionError(
+                f"unknown stream {name!r}; register_stream() it first "
+                f"(registered: {sorted(self._streams) or 'none'})"
+            ) from None
+
+    # -- submission ------------------------------------------------------------
+
+    def sql(self, text: str, name: "str | None" = None) -> QueryHandle:
+        """Parse a CQL statement against the registered streams and
+        submit it; sources are resolved from the registry by FROM-clause
+        stream name."""
+        schemas = {n: s.schema for n, s in self._streams.items()}
+        query = compile_statement(
+            text, schemas, name=name or f"query{len(self._handles)}"
+        )
+        sources = None
+        if self.config.execute_data:
+            sources = [self._source_for(n) for n in query.stream_names]
+            self._check_distinct_sources(query, sources)
+        return self._register(query, sources)
+
+    def submit(
+        self,
+        query: "Query | Stream",
+        sources: "list[Any] | None" = None,
+        sink: "Callable[[TupleBatch], None] | None" = None,
+        name: "str | None" = None,
+    ) -> QueryHandle:
+        """Submit a built :class:`Query` or an unbuilt :class:`Stream`
+        plan; returns the query's :class:`QueryHandle`.
+
+        Sources resolve in order: explicit ``sources=``; sources bound in
+        the plan (``Stream.source``); the registry, by plan stream name
+        (for plans) or input-schema name (for queries).  Simulation-only
+        engines (``execute_data=False``) skip resolution entirely.
+        """
+        if isinstance(query, Stream):
+            plan = query
+            query = plan.build(name or f"query{len(self._handles)}")
+            stream_names = plan.stream_names
+        elif isinstance(query, Query):
+            if name is not None and name != query.name:
+                # Honor the caller's name for built queries too (e.g.
+                # submitting the same workload query twice under run
+                # labels); copy rather than mutate the caller's object.
+                query = dataclasses.replace(query, name=name)
+            # Builder-built queries carry their plan's stream names, so
+            # registry resolution is identical before and after build();
+            # hand-built queries fall back to their input schemas' names.
+            stream_names = query.stream_names or [
+                s.name for s in query.input_schemas
+            ]
+        else:
+            raise SessionError(
+                f"submit() takes a Stream plan or a Query, got {type(query).__name__}"
+            )
+        if sources is None and self.config.execute_data:
+            bound = query.bound_sources or [None] * query.arity
+            sources = [
+                b if b is not None else self._source_for(stream_name)
+                for b, stream_name in zip(bound, stream_names)
+            ]
+            self._check_distinct_sources(query, sources)
+        handle = self._register(query, sources)
+        if sink is not None:
+            handle.add_sink(sink)
+        return handle
+
+    @staticmethod
+    def _check_distinct_sources(query: Query, sources: "list[Any]") -> None:
+        """Reject implicit resolution that shares one source object.
+
+        A source is a stateful cursor: binding the same object to both
+        inputs of a self-join would hand each side a disjoint interleaved
+        half of the stream, silently corrupting the join.  Explicit
+        ``sources=`` keeps the caller in charge of such wiring.
+        """
+        if len({id(s) for s in sources}) != len(sources):
+            raise SessionError(
+                f"query {query.name!r}: multiple inputs resolved to the same "
+                "registered source object; a source is a single consuming "
+                "cursor, so each input needs its own instance — pass "
+                "explicit sources= (e.g. two identically-seeded sources) "
+                "for self-joins"
+            )
+
+    def _register(self, query: Query, sources: "list[Any] | None") -> QueryHandle:
+        with self._lock:
+            if self._closed:
+                raise SessionError("session is closed")
+            if self._running or self._target:
+                raise SessionError(
+                    "cannot submit after the session has run; submit every "
+                    "query first, then run()/start()"
+                )
+            if query.name in self._handles:
+                raise SessionError(f"duplicate query name {query.name!r}")
+            handle = QueryHandle(self, query)
+            self.engine.add_query(
+                query,
+                sources if self.config.execute_data else None,
+                on_emit=handle._on_emit,
+            )
+            self._handles[query.name] = handle
+            return handle
+
+    # -- running ---------------------------------------------------------------
+
+    @property
+    def handles(self) -> "dict[str, QueryHandle]":
+        return dict(self._handles)
+
+    @property
+    def report(self) -> "Report | None":
+        """The latest run's report (``None`` before the first run)."""
+        return self._report
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def run(
+        self, tasks_per_query: "int | None" = None, flush: bool = False
+    ) -> Report:
+        """Process ``tasks_per_query`` *more* tasks per query (blocking).
+
+        Incremental by design: a second ``run(n)`` continues the same
+        dispatch cursors, window state and throughput matrix, so a
+        long-lived session alternates running and inspecting results.
+        """
+        n = self._default_tasks if tasks_per_query is None else tasks_per_query
+        with self._lock:
+            self._begin_run(n)
+        try:
+            return self._run_engine(flush)
+        finally:
+            self._finish_run()
+
+    def start(self, tasks_per_query: "int | None" = None) -> "SaberSession":
+        """Begin a background run; pair with :meth:`stop` (or iterate
+        handles' :meth:`QueryHandle.results` and then ``stop``).
+
+        ``tasks_per_query=None`` here means *run until stopped* (an
+        effectively unbounded task budget), which is the streaming
+        deployment shape; pass a number for a bounded background run.
+        """
+        unbounded = tasks_per_query is None
+        n = (1 << 62) - self._target if unbounded else tasks_per_query
+        with self._lock:
+            self._begin_run(n)
+        self._thread = threading.Thread(
+            target=self._background, name="saber-session", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _begin_run(self, n: int) -> None:
+        """Reserve the run slot (caller holds the lock)."""
+        if self._closed:
+            raise SessionError("session is closed")
+        if self._running:
+            raise SessionError("a run is already active; stop() it first")
+        if self._run_error is not None:
+            # A failed background run whose error was never retrieved via
+            # wait()/stop() must not be silently discarded.
+            error, self._run_error = self._run_error, None
+            raise error
+        if self.engine._drained:
+            raise SessionError(
+                "session was drained (stop(drain=True) / run(flush=True) is "
+                "end-of-stream): flushed windows would re-emit from their "
+                "tail fragments — create a new session to keep processing"
+            )
+        if n <= 0:
+            raise SessionError("tasks_per_query must be positive")
+        if not self._handles:
+            raise SessionError("no queries submitted")
+        # Clear a stale stop *before* the run becomes stoppable, so a
+        # stop() issued after this point is never lost to a reset:
+        # stop() keys off _running, which flips true under this lock.
+        self.engine.clear_stop()
+        self._target += n
+        self._run_seq += 1
+        self._running = True
+        self._run_done.clear()
+
+    def _run_engine(self, flush: bool = False) -> Report:
+        report = self.engine.run(tasks_per_query=self._target, flush=flush)
+        self._report = report
+        return report
+
+    def _finish_run(self) -> None:
+        with self._lock:      # pairs with _begin_run: no lost target updates
+            self._running = False
+            # Drop the background-thread handle: once a run has finished,
+            # a stale dead handle must not satisfy a later stop()/wait()
+            # aimed at a *new* run (e.g. a blocking run() in another
+            # thread, which has no handle of its own).  Anyone needing to
+            # join captured the reference under the lock while running.
+            self._thread = None
+            # Re-anchor the cumulative target at the furthest query's
+            # dispatch count, so the next incremental run() processes n
+            # more tasks even after a stop() cut this one short.  A stop
+            # can land mid-round-robin, leaving queries one task apart;
+            # anchoring on the leader means a lagging query catches up by
+            # at most one extra task on the next run (the engine shares
+            # one target).
+            if self.engine.runs:
+                self._target = max(r.tasks_dispatched for r in self.engine.runs)
+            self._run_done.set()
+            self._run_cond.notify_all()
+        for handle in self._handles.values():
+            handle._wake()
+
+    def _background(self) -> None:
+        try:
+            self._run_engine()
+        except BaseException as exc:  # re-raised in stop()/join()
+            self._run_error = exc
+        finally:
+            self._finish_run()
+
+    def _ensure_ran(self) -> None:
+        """results() convenience: a never-run idle session runs once."""
+        with self._lock:
+            idle_and_unran = not self._running and self._target == 0
+        if idle_and_unran:
+            self.run()
+
+    # -- stopping --------------------------------------------------------------
+
+    def wait(self, timeout: "float | None" = None) -> "Report | None":
+        """Wait for a *bounded* background run (``start(n)``) to finish
+        without cutting it short; returns the report (or ``None`` on
+        timeout).  For unbounded runs use :meth:`stop`."""
+        if not self._run_done.wait(timeout):
+            return None
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+        self._raise_pending_error()
+        return self._report
+
+    def stop(self, drain: bool = False) -> "Report | None":
+        """End a running session: stop dispatching, wait for in-flight
+        tasks to drain, and return the run's report.
+
+        The run-state check happens under the session lock (the same
+        lock ``run``/``start`` reserve the run under), so a ``stop``
+        racing ``start`` either lands on that run or strictly precedes
+        it — a stop that wins the race is a no-op and never blocks on a
+        run that began after the call.  ``drain=True`` additionally
+        finalises still-open windows (end-of-stream semantics for finite
+        inputs); without it, partial windows stay pending, as streaming
+        semantics require.  Idempotent when nothing is running.
+        """
+        with self._lock:
+            running = self._running
+            seq = self._run_seq
+            thread = self._thread if running else None
+            if running:
+                self.engine.request_stop()
+        if running:
+            if thread is not None:
+                thread.join()           # exactly the run we stopped
+                if self._thread is thread:
+                    self._thread = None
+            else:
+                # Blocking run() in another thread: wait until *that*
+                # run generation ends.  A predicate wait (not the shared
+                # event) means a back-to-back next run — which clears the
+                # stop flag and the event — cannot re-block or starve
+                # this stopper; if the targeted run ended naturally the
+                # stop is simply done.
+                with self._run_cond:
+                    self._run_cond.wait_for(
+                        lambda: not self._running or self._run_seq != seq
+                    )
+        self._raise_pending_error()
+        report = self._report
+        if drain and report is not None and self.config.execute_data:
+            self._report = report = self.engine.drain()
+        return report
+
+    def _raise_pending_error(self) -> None:
+        """Surface an unretrieved failure from a background run."""
+        if self._run_error is not None:
+            error, self._run_error = self._run_error, None
+            raise error
+
+    def close(self) -> None:
+        """Stop any background run and seal the session."""
+        if self._closed:
+            return
+        try:
+            self.stop()
+        finally:
+            self._closed = True
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "SaberSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- engine plumbing -------------------------------------------------------
+
+    def _engine_run(self, query: Query):
+        for run in self.engine.runs:
+            if run.query is query:
+                return run
+        raise SessionError(f"query {query.name!r} is not registered")  # pragma: no cover

@@ -21,8 +21,8 @@ import argparse
 import dataclasses
 import sys
 
-from .core.cql import parse_cql
-from .core.engine import SaberConfig, SaberEngine
+from .api import SaberSession
+from .core.engine import SaberConfig
 from .hardware.specs import DEFAULT_SPEC
 from .workloads import cluster, linearroad, smartgrid
 from .workloads.queries import APPLICATION_QUERIES, build
@@ -102,25 +102,25 @@ def _command_run(args: argparse.Namespace) -> int:
     if bool(args.query) == bool(args.cql):
         print("error: pass either a query name or --cql", file=sys.stderr)
         return 2
-    if args.cql:
-        stream, schema, make_source = _WORKLOADS[args.workload]
-        query = parse_cql(args.cql, {stream: schema}, name="cli")
-        sources = [make_source(args.seed, args.rate)]
-    else:
-        query, sources = build(
-            args.query, seed=args.seed, tuples_per_second=args.rate
-        )
-    engine = SaberEngine(
-        SaberConfig(
-            task_size_bytes=args.task_size,
-            cpu_workers=args.workers,
-            use_gpu=not args.no_gpu,
-            scheduler=args.scheduler,
-            execution=args.execution,
-        )
+    config = SaberConfig(
+        task_size_bytes=args.task_size,
+        cpu_workers=args.workers,
+        use_gpu=not args.no_gpu,
+        scheduler=args.scheduler,
+        execution=args.execution,
     )
-    engine.add_query(query, sources)
-    report = engine.run(tasks_per_query=args.tasks)
+    with SaberSession(config) as session:
+        if args.cql:
+            stream, __, make_source = _WORKLOADS[args.workload]
+            session.register_stream(stream, make_source(args.seed, args.rate))
+            handle = session.sql(args.cql, name="cli")
+        else:
+            query, sources = build(
+                args.query, seed=args.seed, tuples_per_second=args.rate
+            )
+            handle = session.submit(query, sources=sources)
+        query = handle.query
+        report = session.run(tasks_per_query=args.tasks)
     clock = "virtual" if args.execution == "sim" else "wall-clock"
     print(f"query      : {query.name}")
     print(f"throughput : {report.throughput_bytes / 1e6:.1f} MB/s ({clock})")

@@ -16,7 +16,7 @@ from .scheduler import (
 )
 from .result_stage import EmittedResult, ResultStage
 from .engine import Report, SaberConfig, SaberEngine
-from .cql import parse_cql
+from .cql import compile_statement, parse_cql
 
 __all__ = [
     "Query",
@@ -40,5 +40,6 @@ __all__ = [
     "SaberConfig",
     "SaberEngine",
     "Report",
+    "compile_statement",
     "parse_cql",
 ]

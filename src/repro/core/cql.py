@@ -29,16 +29,11 @@ with the configured right prefix.
 from __future__ import annotations
 
 import re
+import warnings
 from dataclasses import dataclass
 
-from ..errors import CQLSyntaxError
+from ..errors import CQLSyntaxError, QueryError
 from ..operators.aggregate_functions import SUPPORTED_FUNCTIONS, AggregateSpec
-from ..operators.aggregation import Aggregation
-from ..operators.compose import FilteredWindows
-from ..operators.groupby import GroupedAggregation
-from ..operators.join import ThetaJoin
-from ..operators.projection import Projection
-from ..operators.selection import Selection
 from ..relational.expressions import (
     And,
     Arithmetic,
@@ -116,9 +111,10 @@ class _Parser:
         token = self.accept(kind, text)
         if token is None:
             got = self.peek()
-            raise CQLSyntaxError(
-                f"expected {text or kind}, got {got.text if got else 'end of query'!r}"
-            )
+            # Both branches formatted deliberately: a real token's text is
+            # repr'd (it is user input), the end-of-input marker is prose.
+            actual = f"{got.text!r}" if got is not None else "end of query"
+            raise CQLSyntaxError(f"expected {text or kind!r}, got {actual}")
         return token
 
     # -- expressions ---------------------------------------------------------
@@ -272,14 +268,30 @@ def _parse_stream_clause(parser: _Parser) -> _StreamClause:
     return _StreamClause(name, window, alias)
 
 
-def parse_cql(
+def compile_statement(
     text: str,
     schemas: "dict[str, Schema]",
     name: str = "query",
 ) -> Query:
-    """Parse a CQL string into a runnable :class:`Query`.
+    """Parse a CQL statement and compile it through the Stream builder.
 
-    ``schemas`` maps the FROM-clause stream names to their schemas.
+    ``schemas`` maps the FROM-clause stream names to their schemas.  The
+    returned query records the FROM-clause names on
+    :attr:`Query.stream_names` (in input order), which
+    :meth:`repro.api.SaberSession.sql` uses to bind each input to a
+    registered source.
+
+    Clause → plan mapping (one compile path with the fluent builder, so
+    CQL and builder queries produce identical operator graphs):
+
+    * ``FROM s [window]``            → ``Stream.named(s).window(...)``
+    * ``WHERE p``                    → ``.where(p)`` (also applied under
+      ``SELECT DISTINCT`` — the filter runs inside the window before
+      duplicate elimination)
+    * ``SELECT items``               → ``.select(...)`` [``.distinct()``]
+    * aggregates [+ ``GROUP BY``]    → ``.aggregate(...)`` /
+      ``.group_by(keys..., aggs...)`` [+ ``.having(p)``]
+    * two streams + ``WHERE``        → ``.join(other, on=p)``
     """
     parser = _Parser(_tokenize(text))
     parser.expect("keyword", "select")
@@ -307,48 +319,69 @@ def parse_cql(
         if clause.name not in schemas:
             raise CQLSyntaxError(f"unknown stream {clause.name!r} in FROM clause")
 
-    if len(streams) == 2:
-        if where is None:
-            raise CQLSyntaxError("a join query needs a WHERE predicate")
-        left, right = schemas[streams[0].name], schemas[streams[1].name]
-        operator = ThetaJoin(left, right, where)
-        return Query(
-            name=name,
-            operator=operator,
-            windows=[streams[0].window, streams[1].window],
-        )
-    if len(streams) != 1:
-        raise CQLSyntaxError("only 1- and 2-stream queries are supported")
+    # Deferred import: repro.api builds on repro.core, not the reverse.
+    from ..api.builder import Stream
 
-    schema = schemas[streams[0].name]
-    aggregates = [i.aggregate for i in items if i.aggregate is not None]
-    if aggregates:
-        if group_by:
-            inner = GroupedAggregation(schema, group_by, aggregates, having=having)
+    def windowed(clause: _StreamClause) -> Stream:
+        plan = Stream.named(clause.name, schemas[clause.name])
+        if clause.window is None:
+            return plan.unbounded()
+        if clause.window.is_count_based:
+            return plan.window(rows=clause.window.size, slide=clause.window.slide)
+        return plan.window(time=clause.window.size, slide=clause.window.slide)
+
+    try:
+        if len(streams) == 2:
+            if where is None:
+                raise CQLSyntaxError("a join query needs a WHERE predicate")
+            plan = windowed(streams[0]).join(windowed(streams[1]), on=where)
+            return plan.build(name)
+        if len(streams) != 1:
+            raise CQLSyntaxError("only 1- and 2-stream queries are supported")
+
+        plan = windowed(streams[0])
+        if where is not None:
+            plan = plan.where(where)
+        aggregates = [i.aggregate for i in items if i.aggregate is not None]
+        if aggregates:
+            # Plain select items (timestamp, key columns) are implicit in
+            # the aggregated output schema; the grammar drops them.
+            if group_by:
+                plan = plan.group_by(*group_by, *aggregates)
+                if having is not None:
+                    plan = plan.having(having)
+            else:
+                if having is not None:
+                    raise CQLSyntaxError("HAVING without GROUP BY is not supported")
+                plan = plan.aggregate(*aggregates)
         else:
             if having is not None:
                 raise CQLSyntaxError("HAVING without GROUP BY is not supported")
-            inner = Aggregation(schema, aggregates)
-        operator = FilteredWindows(where, inner) if where is not None else inner
-        return Query(name=name, operator=operator, windows=[streams[0].window])
+            plan = plan.select(*[(i.alias, i.expression) for i in items])
+            if distinct:
+                plan = plan.distinct()
+        return plan.build(name)
+    except QueryError as exc:
+        # Builder/operator validation failures surface as CQL errors: the
+        # statement, not the plan object, is what the caller wrote.
+        raise CQLSyntaxError(str(exc)) from exc
 
-    if distinct:
-        from ..operators.distinct import DistinctProjection
 
-        operator = DistinctProjection(
-            schema, [(i.alias, i.expression) for i in items]
-        )
-        return Query(name=name, operator=operator, windows=[streams[0].window])
+def parse_cql(
+    text: str,
+    schemas: "dict[str, Schema]",
+    name: str = "query",
+) -> Query:
+    """Deprecated shim: parse a CQL string into a runnable :class:`Query`.
 
-    if where is not None and all(
-        isinstance(i.expression, type(col(""))) and i.alias in schema
-        for i in items
-    ) and [i.alias for i in items] == list(schema.attribute_names):
-        operator = Selection(schema, where)
-        return Query(name=name, operator=operator, windows=[streams[0].window])
-    projection = Projection(schema, [(i.alias, i.expression) for i in items])
-    if where is not None:
-        operator = FilteredWindows(where, projection)
-        # Stateless filtering + projection: keep IStream default semantics.
-        return Query(name=name, operator=operator, windows=[streams[0].window])
-    return Query(name=name, operator=projection, windows=[streams[0].window])
+    Prefer :meth:`repro.api.SaberSession.sql`, which registers schemas
+    once per session and binds sources automatically (or
+    :func:`compile_statement` for the raw compile).
+    """
+    warnings.warn(
+        "parse_cql() is deprecated: use SaberSession.sql() from repro.api "
+        "(or repro.core.cql.compile_statement)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return compile_statement(text, schemas, name=name)

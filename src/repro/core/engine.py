@@ -178,6 +178,18 @@ class SaberEngine:
         self._dispatch_active = False
         self._inflight = 0
         self._rr_index = 0
+        self._last_elapsed = 0.0
+        #: cooperative stop flag (:meth:`request_stop`): once set, the
+        #: dispatcher cuts no further tasks and the run drains in-flight
+        #: work, then returns normally.  ``run`` does NOT clear it — a
+        #: long-lived caller (SaberSession) clears it before each run so
+        #: a stop requested just before the run starts is not lost.
+        self.stop_requested = False
+        #: set by :meth:`drain` / ``run(flush=True)``: flushing emits
+        #: still-open windows from their fragments so far, which is an
+        #: end-of-stream operation — running further tasks afterwards
+        #: would re-emit those windows with only their tail fragments.
+        self._drained = False
 
     # -- set-up ------------------------------------------------------------------
 
@@ -198,8 +210,18 @@ class SaberEngine:
             return HlsScheduler(matrix, switch_threshold=cfg.switch_threshold)
         raise SimulationError(f"unknown scheduler {cfg.scheduler!r}")
 
-    def add_query(self, query: Query, sources: "list[Source] | None" = None) -> None:
-        """Register a query; ``sources=None`` runs simulation-only."""
+    def add_query(
+        self,
+        query: Query,
+        sources: "list[Source] | None" = None,
+        on_emit=None,
+    ) -> None:
+        """Register a query; ``sources=None`` runs simulation-only.
+
+        ``on_emit`` is forwarded to the query's :class:`ResultStage` as
+        the per-query sink hook (called per ordered output chunk, on the
+        emitting worker's thread).
+        """
         if self.config.execute_data and sources is None:
             raise SimulationError(
                 f"query {query.name!r}: sources are required unless "
@@ -214,6 +236,7 @@ class SaberEngine:
             query,
             collect_output=self.config.collect_output,
             on_release=dispatcher.release,
+            on_emit=on_emit,
         )
         self.runs.append(QueryRun(query, dispatcher, result_stage))
 
@@ -225,6 +248,12 @@ class SaberEngine:
             raise SimulationError("no queries registered")
         if tasks_per_query <= 0:
             raise SimulationError("tasks_per_query must be positive")
+        if self._drained:
+            raise SimulationError(
+                "engine was drained (flush emitted still-open windows): "
+                "running further tasks would re-emit those windows from "
+                "their tail fragments only — create a new engine/session"
+            )
         if self.config.execution == "threads":
             elapsed = ThreadedExecutor(self).run(tasks_per_query)
         else:
@@ -238,7 +267,33 @@ class SaberEngine:
                     f"{self._inflight} in-flight tasks"
                 )
             elapsed = self.loop.now
+        self._last_elapsed = elapsed
         return self._build_report(elapsed, flush)
+
+    def request_stop(self) -> None:
+        """Ask a running (or about-to-run) engine to stop dispatching.
+
+        In-flight and queued tasks drain normally; the run then returns
+        with however many tasks each query processed.  Works on both
+        backends; safe to call from another thread.
+        """
+        self.stop_requested = True
+
+    def clear_stop(self) -> None:
+        """Re-arm the engine after a stop (see :attr:`stop_requested`)."""
+        self.stop_requested = False
+
+    def drain(self) -> Report:
+        """Finalise still-open windows and rebuild the report.
+
+        Streaming semantics never emit incomplete windows; a long-lived
+        session calls this once, after its final run, to flush the tail
+        of a finite stream.  Draining is terminal: a later :meth:`run`
+        raises, because the flushed windows' ids would otherwise be
+        re-emitted with only the fragments that arrive afterwards.
+        """
+        self._drained = True
+        return self._build_report(self._last_elapsed, flush=True)
 
     def _build_report(self, elapsed: float, flush: bool) -> Report:
         """Backend-independent epilogue: outputs, counters, history."""
@@ -246,6 +301,7 @@ class SaberEngine:
         output_rows: dict[str, int] = {}
         for run in self.runs:
             if flush and self.config.execute_data:
+                self._drained = True      # flush is end-of-stream
                 run.result_stage.flush(elapsed)
             outputs[run.query.name] = (
                 run.result_stage.output() if self.config.collect_output else None
@@ -271,7 +327,7 @@ class SaberEngine:
 
     def _dispatch_next(self) -> None:
         pending = self._unfinished_runs()
-        if not pending:
+        if not pending or self.stop_requested:
             self._dispatch_active = False
             return
         if len(self.queue) >= self.config.queue_capacity:

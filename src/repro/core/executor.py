@@ -82,8 +82,16 @@ class ThreadedExecutor:
     # -- run -----------------------------------------------------------------
 
     def run(self, tasks_per_query: int) -> float:
-        """Execute ``tasks_per_query`` tasks per query; returns elapsed s."""
-        self._t0 = time.perf_counter()
+        """Execute ``tasks_per_query`` tasks per query; returns elapsed s.
+
+        The clock continues from the engine's cumulative elapsed time, so
+        incremental runs (a long-lived session calling ``run`` repeatedly)
+        produce monotonically increasing task timestamps and throughput
+        derived over the combined processing span — mirroring the sim
+        backend's cumulative ``loop.now``.  Idle wall time *between* runs
+        is excluded, as it is not processing time.
+        """
+        self._t0 = time.perf_counter() - self.engine._last_elapsed
         threads = [
             threading.Thread(
                 target=self._dispatch_loop,
@@ -146,7 +154,11 @@ class ThreadedExecutor:
                         for r in self.runs
                         if r.tasks_dispatched < tasks_per_query
                     ]
-                    if not pending or self._failure is not None:
+                    if (
+                        not pending
+                        or self._failure is not None
+                        or self.engine.stop_requested
+                    ):
                         break
                     run = pending[rr_index % len(pending)]
                     rr_index += 1
@@ -154,7 +166,7 @@ class ThreadedExecutor:
                         len(self.queue) >= self.config.queue_capacity
                         or not run.dispatcher.can_create_task()
                     ):
-                        if self._failure is not None:
+                        if self._failure is not None or self.engine.stop_requested:
                             return
                         if not self._dispatch_waiting:
                             self._dispatch_waiting = True

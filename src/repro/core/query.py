@@ -59,6 +59,15 @@ class Query:
     #: task's byte budget proportionally so that the streams' windows stay
     #: aligned (SG3's local/global streams differ by the plug count).
     input_rates: "list[float] | None" = None
+    #: per-input sources bound at build time (``Stream.source``); a
+    #: :class:`~repro.api.SaberSession` uses these when ``submit`` gets no
+    #: explicit sources.  ``None`` entries resolve against the session's
+    #: stream registry.
+    bound_sources: "list | None" = field(default=None, repr=False, compare=False)
+    #: per-input stream names recorded at build time (``Stream.named``);
+    #: the session registry resolves unbound inputs by these, falling back
+    #: to the input schemas' names when absent (hand-built queries).
+    stream_names: "list[str] | None" = field(default=None, repr=False, compare=False)
     query_id: int = field(default_factory=lambda: next(_query_ids))
 
     def __post_init__(self) -> None:

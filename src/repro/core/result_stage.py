@@ -60,11 +60,17 @@ class ResultStage:
         slots: int = 1024,
         collect_output: bool = True,
         on_release: "Callable[[QueryTask], None] | None" = None,
+        on_emit: "Callable[[EmittedResult], None] | None" = None,
     ) -> None:
+        """``on_emit`` is the per-query sink hook: called once per ordered
+        output chunk, *on the emitting worker's thread and under the
+        result-stage lock* — sinks must be fast and must not call back
+        into the engine."""
         self.query = query
         self.slots = slots
         self.collect_output = collect_output
         self.on_release = on_release
+        self.on_emit = on_emit
         self._buffer: dict[int, _Slot] = {}
         self._next_task = 0
         self._lock = threading.Lock()
@@ -141,19 +147,35 @@ class ResultStage:
         emitted: list[EmittedResult] = []
         if chunks:
             rows = TupleBatch.concat(chunks) if len(chunks) > 1 else chunks[0]
-            record = EmittedResult(
-                task_id=task.task_id,
-                rows=rows if self.collect_output else rows.slice(0, 0),
-                emit_time=now,
-                data_time=task.created_at,
+            emitted.append(
+                self._emit(rows, task.task_id, now, task.created_at)
             )
-            self.output_rows += len(rows)
-            self.output_bytes += rows.size_bytes
-            self.emitted.append(record)
-            emitted.append(record)
         if self.on_release is not None:
             self.on_release(task)
         return emitted
+
+    def _emit(
+        self, rows: TupleBatch, task_id: int, emit_time: float, data_time: float
+    ) -> EmittedResult:
+        """Account, retain (``collect_output`` only) and deliver one chunk.
+
+        ``collect_output`` governs *retention*: with it off the stage
+        stays O(1) so sink-driven runs can stream forever, while the
+        ``on_emit`` sink still always receives the full rows.
+        """
+        full = EmittedResult(task_id, rows, emit_time, data_time)
+        record = (
+            full
+            if self.collect_output
+            else EmittedResult(task_id, rows.slice(0, 0), emit_time, data_time)
+        )
+        self.output_rows += len(rows)
+        self.output_bytes += rows.size_bytes
+        if self.collect_output:
+            self.emitted.append(record)
+        if self.on_emit is not None:
+            self.on_emit(full)
+        return record
 
     # -- finishing -----------------------------------------------------------------
 
@@ -180,16 +202,7 @@ class ResultStage:
         if not chunks:
             return []
         rows = TupleBatch.concat(chunks) if len(chunks) > 1 else chunks[0]
-        record = EmittedResult(
-            task_id=self._next_task,
-            rows=rows if self.collect_output else rows.slice(0, 0),
-            emit_time=now,
-            data_time=now,
-        )
-        self.output_rows += len(rows)
-        self.output_bytes += rows.size_bytes
-        self.emitted.append(record)
-        return [record]
+        return [self._emit(rows, self._next_task, now, now)]
 
     def output(self) -> "TupleBatch | None":
         """Concatenated output stream (when output collection is on)."""

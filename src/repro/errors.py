@@ -25,6 +25,23 @@ class QueryError(SaberError):
     """A query is malformed (operator/window/stream-function mismatch)."""
 
 
+class BuilderError(QueryError):
+    """A fluent :class:`~repro.api.Stream` plan is invalid.
+
+    Raised at *build time* (or at the offending chain step) so that plan
+    errors surface before any data is dispatched.  Subclasses
+    :class:`QueryError`: a bad plan is a bad query.
+    """
+
+
+class SessionError(SaberError):
+    """A :class:`~repro.api.SaberSession` operation is invalid.
+
+    Covers lifecycle misuse (submitting after the run started, running a
+    closed session) and stream-registry failures (unresolvable sources).
+    """
+
+
 class BufferError_(SaberError):
     """A circular buffer operation failed (overflow, bad pointer)."""
 

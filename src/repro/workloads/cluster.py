@@ -17,15 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import Stream, agg
 from ..core.query import Query
-from ..operators.aggregate_functions import AggregateSpec
-from ..operators.compose import FilteredWindows
-from ..operators.groupby import GroupedAggregation
-from ..operators.selection import Selection
 from ..relational.expressions import col, conjunction, disjunction
 from ..relational.schema import Schema
 from ..relational.tuples import TupleBatch
-from ..windows.definition import WindowDefinition
 
 #: TaskEvents schema (Appendix A.1), 48 bytes per tuple.
 TASK_EVENTS_SCHEMA = Schema.with_timestamp(
@@ -114,12 +110,12 @@ def cm1_query() -> Query:
     ``select timestamp, category, sum(cpu) from TaskEvents
     [range 60 slide 1] group by category``
     """
-    operator = GroupedAggregation(
-        TASK_EVENTS_SCHEMA,
-        ["category"],
-        [AggregateSpec("sum", "cpu", "totalCpu")],
+    return (
+        Stream.named("TaskEvents", TASK_EVENTS_SCHEMA)
+        .window(time=60, slide=1)
+        .group_by("category", agg.sum("cpu", "totalCpu"))
+        .build("CM1")
     )
-    return Query("CM1", operator, [WindowDefinition.time(60, 1)])
 
 
 def cm2_query() -> Query:
@@ -128,13 +124,13 @@ def cm2_query() -> Query:
     ``select timestamp, jobId, avg(cpu) from TaskEvents
     [range 60 slide 1] where eventType == 1 group by jobId``
     """
-    inner = GroupedAggregation(
-        TASK_EVENTS_SCHEMA,
-        ["jobId"],
-        [AggregateSpec("avg", "cpu", "avgCpu")],
+    return (
+        Stream.named("TaskEvents", TASK_EVENTS_SCHEMA)
+        .window(time=60, slide=1)
+        .where(col("eventType").eq(EVENT_SUBMIT))
+        .group_by("jobId", agg.avg("cpu", "avgCpu"))
+        .build("CM2")
     )
-    operator = FilteredWindows(col("eventType").eq(EVENT_SUBMIT), inner)
-    return Query("CM2", operator, [WindowDefinition.time(60, 1)])
 
 
 def surge_select_query(predicates: int = 500) -> Query:
@@ -153,11 +149,13 @@ def surge_select_query(predicates: int = 500) -> Query:
         [col("priority") > 1_000_000 + k for k in range(predicates - 2)]
         + [col("priority") >= 0]
     )
-    predicate = conjunction([p1, chain])
-    operator = Selection(
-        TASK_EVENTS_SCHEMA,
-        predicate,
-        # CPU short-circuits: 1 atom always; the chain only for failures.
-        cpu_evals_fn=lambda sel, n=predicates: 1.0 + sel * (n - 1),
+    return (
+        Stream.named("TaskEvents", TASK_EVENTS_SCHEMA)
+        .window(rows=1024, slide=1024)
+        .where(
+            conjunction([p1, chain]),
+            # CPU short-circuits: 1 atom always; the chain only for failures.
+            cpu_evals_fn=lambda sel, n=predicates: 1.0 + sel * (n - 1),
+        )
+        .build(f"SELECT{predicates}")
     )
-    return Query(f"SELECT{predicates}", operator, [WindowDefinition.rows(1024, 1024)])

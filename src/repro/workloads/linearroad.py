@@ -21,15 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import Stream, agg
 from ..core.query import Query
-from ..operators.aggregate_functions import AggregateSpec
-from ..operators.distinct import DistinctProjection
-from ..operators.groupby import GroupedAggregation
-from ..operators.projection import Projection
 from ..relational.expressions import col
 from ..relational.schema import Schema
 from ..relational.tuples import TupleBatch
-from ..windows.definition import WindowDefinition
 
 #: PosSpeedStr schema (Appendix A.3), 32 bytes.
 POS_SPEED_SCHEMA = Schema.with_timestamp(
@@ -96,32 +92,29 @@ def lrb1_query() -> Query:
     ``select timestamp, vehicle, speed, highway, lane, direction,
     (position / 5280) as segment from SegSpeedStr [range unbounded]``
     """
-    columns = [
-        ("timestamp", col("timestamp")),
-        ("vehicle", col("vehicle")),
-        ("speed", col("speed")),
-        ("highway", col("highway")),
-        ("lane", col("lane")),
-        ("direction", col("direction")),
-        ("segment", col("position") / FEET_PER_SEGMENT),
-    ]
-    operator = Projection(
-        POS_SPEED_SCHEMA, columns, output_types={"segment": "int"}
+    return (
+        Stream.named("SegSpeedStr", POS_SPEED_SCHEMA)
+        .unbounded()
+        .select(
+            "timestamp", "vehicle", "speed", "highway", "lane", "direction",
+            ("segment", col("position") / FEET_PER_SEGMENT, "int"),
+        )
+        .build("LRB1")
     )
-    return Query("LRB1", operator, [None])
 
 
 def lrb2_query() -> Query:
     """LRB2: distinct vehicle/segment entries in the last 30 seconds."""
-    columns = [
-        ("vehicle", col("vehicle")),
-        ("highway", col("highway")),
-        ("lane", col("lane")),
-        ("direction", col("direction")),
-        ("segment", col("position") / FEET_PER_SEGMENT),
-    ]
-    operator = DistinctProjection(POS_SPEED_SCHEMA, columns)
-    return Query("LRB2", operator, [WindowDefinition.time(30, 1)])
+    return (
+        Stream.named("SegSpeedStr", POS_SPEED_SCHEMA)
+        .window(time=30, slide=1)
+        .select(
+            "vehicle", "highway", "lane", "direction",
+            ("segment", col("position") / FEET_PER_SEGMENT),
+        )
+        .distinct()
+        .build("LRB2")
+    )
 
 
 def lrb3_query() -> Query:
@@ -133,14 +126,16 @@ def lrb3_query() -> Query:
     ``segment`` is the derived key ``position / 5280`` (LRB1's
     projection), expressed as a derived GROUP-BY column.
     """
-    inner = GroupedAggregation(
-        POS_SPEED_SCHEMA,
-        ["highway", "direction", "segment"],
-        [AggregateSpec("avg", "speed", "avgSpeed")],
-        having=col("avgSpeed") < 40.0,
-        derived_columns={"segment": (col("position") / FEET_PER_SEGMENT, "int")},
+    return (
+        Stream.named("SegSpeedStr", POS_SPEED_SCHEMA)
+        .window(time=300, slide=1)
+        .group_by(
+            "highway", "direction", agg.avg("speed", "avgSpeed"),
+            segment=(col("position") / FEET_PER_SEGMENT, "int"),
+        )
+        .having(col("avgSpeed") < 40.0)
+        .build("LRB3")
     )
-    return Query("LRB3", inner, [WindowDefinition.time(300, 1)])
 
 
 def lrb4_query() -> Query:
@@ -151,9 +146,9 @@ def lrb4_query() -> Query:
     vehicle count per segment is a cheap post-aggregation over this
     query's output stream.
     """
-    operator = GroupedAggregation(
-        POS_SPEED_SCHEMA,
-        ["highway", "direction", "vehicle"],
-        [AggregateSpec("count", None, "events")],
+    return (
+        Stream.named("SegSpeedStr", POS_SPEED_SCHEMA)
+        .window(time=30, slide=1)
+        .group_by("highway", "direction", "vehicle", agg.count(alias="events"))
+        .build("LRB4")
     )
-    return Query("LRB4", operator, [WindowDefinition.time(30, 1)])

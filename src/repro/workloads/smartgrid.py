@@ -11,15 +11,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import Stream, agg
 from ..core.query import Query
-from ..operators.aggregate_functions import AggregateSpec
-from ..operators.aggregation import Aggregation
-from ..operators.groupby import GroupedAggregation
-from ..operators.join import ThetaJoin
 from ..relational.expressions import col
 from ..relational.schema import Schema
 from ..relational.tuples import TupleBatch
-from ..windows.definition import WindowDefinition
 
 #: SmartGridStr schema (Appendix A.2), padded to 32 bytes like the paper.
 SMART_GRID_SCHEMA = Schema.with_timestamp(
@@ -159,20 +155,22 @@ def sg1_query() -> Query:
 
     ``select timestamp, avg(value) from SmartGridStr [range 3600 slide 1]``
     """
-    operator = Aggregation(
-        SMART_GRID_SCHEMA, [AggregateSpec("avg", "value", "globalAvgLoad")]
+    return (
+        Stream.named("SmartGridStr", SMART_GRID_SCHEMA)
+        .window(time=3600, slide=1)
+        .aggregate(agg.avg("value", "globalAvgLoad"))
+        .build("SG1")
     )
-    return Query("SG1", operator, [WindowDefinition.time(3600, 1)])
 
 
 def sg2_query() -> Query:
     """SG2: sliding per-plug load average, ω(3600, 1) with GROUP-BY."""
-    operator = GroupedAggregation(
-        SMART_GRID_SCHEMA,
-        ["plug", "household", "house"],
-        [AggregateSpec("avg", "value", "localAvgLoad")],
+    return (
+        Stream.named("SmartGridStr", SMART_GRID_SCHEMA)
+        .window(time=3600, slide=1)
+        .group_by("plug", "household", "house", agg.avg("value", "localAvgLoad"))
+        .build("SG2")
     )
-    return Query("SG2", operator, [WindowDefinition.time(3600, 1)])
 
 
 def sg3_query() -> Query:
@@ -183,16 +181,17 @@ def sg3_query() -> Query:
     per-house count of Appendix A.2 is a cheap post-aggregation over the
     join's output stream, see ``examples/smart_grid.py``).
     """
-    predicate = (col("localAvgLoad") > col("globalAvgLoad"))
-    operator = ThetaJoin(
-        LOCAL_LOAD_SCHEMA, GLOBAL_LOAD_SCHEMA, predicate, right_prefix="g_"
-    )
-    return Query(
-        "SG3",
-        operator,
-        [WindowDefinition.time(1, 1), WindowDefinition.time(1, 1)],
-        # The local stream carries one tuple per plug per second versus one
-        # global tuple; proportional batches keep the streams' windows
-        # aligned within a task.
-        input_rates=[16.0, 1.0],
+    local = Stream.named("LocalLoadStr", LOCAL_LOAD_SCHEMA).window(time=1, slide=1)
+    global_ = Stream.named("GlobalLoadStr", GLOBAL_LOAD_SCHEMA).window(time=1, slide=1)
+    return (
+        local.join(
+            global_,
+            on=col("localAvgLoad") > col("globalAvgLoad"),
+            right_prefix="g_",
+            # The local stream carries one tuple per plug per second versus
+            # one global tuple; proportional batches keep the streams'
+            # windows aligned within a task.
+            rates=(16.0, 1.0),
+        )
+        .build("SG3")
     )

@@ -147,6 +147,83 @@ class TestErrors:
         with pytest.raises(CQLSyntaxError):
             parse_cql("select @#$ from S [rows 4]", SCHEMAS)
 
+    def test_unknown_stream_names_the_stream(self):
+        with pytest.raises(CQLSyntaxError, match="unknown stream 'Nope'"):
+            parse_cql("select timestamp from Nope [rows 4]", SCHEMAS)
+
+    def test_join_without_where_names_the_requirement(self):
+        with pytest.raises(CQLSyntaxError, match="join query needs a WHERE"):
+            parse_cql(
+                "select timestamp from S [range 1], TaskEvents [range 1]",
+                SCHEMAS,
+            )
+
+    def test_having_without_group_by_message(self):
+        with pytest.raises(CQLSyntaxError, match="HAVING without GROUP BY"):
+            parse_cql(
+                "select timestamp, avg(cpu) as a from S [rows 4] having a > 1",
+                SCHEMAS,
+            )
+
+    def test_having_without_any_aggregate(self):
+        with pytest.raises(CQLSyntaxError, match="HAVING without GROUP BY"):
+            parse_cql("select timestamp from S [rows 4] having cpu > 1", SCHEMAS)
+
+    def test_trailing_input_names_the_token(self):
+        with pytest.raises(CQLSyntaxError, match="trailing input at 'limit'"):
+            parse_cql("select timestamp from S [rows 4] limit 5", SCHEMAS)
+
+    def test_expect_message_quotes_the_offending_token(self):
+        # Regression: both branches of the expect() error are formatted
+        # deliberately — real tokens repr'd, end-of-input as prose.
+        with pytest.raises(CQLSyntaxError, match="expected 'select', got 'insert'"):
+            parse_cql("insert into S values (1)", SCHEMAS)
+
+    def test_expect_message_marks_end_of_query(self):
+        with pytest.raises(CQLSyntaxError, match="got end of query$"):
+            parse_cql("select timestamp from", SCHEMAS)
+
+    def test_unknown_where_column_is_a_cql_error(self):
+        with pytest.raises(CQLSyntaxError, match="unknown column"):
+            parse_cql("select timestamp from S [rows 4] where nope > 1", SCHEMAS)
+
+
+class TestDistinctWhere:
+    """Regression: SELECT DISTINCT used to drop the WHERE clause."""
+
+    def test_distinct_keeps_where_clause(self):
+        q = parse_cql(
+            "select distinct category from S [range 30 slide 1] "
+            "where eventType == 2",
+            SCHEMAS,
+        )
+        assert isinstance(q.operator, FilteredWindows)
+        assert isinstance(q.operator.inner, DistinctProjection)
+
+    def test_distinct_where_filters_rows_end_to_end(self):
+        from repro.operators.base import StreamSlice
+        from repro.relational.tuples import TupleBatch
+        from repro.windows.assigner import assign_windows
+        from repro.windows.definition import WindowDefinition
+
+        batch = TupleBatch.from_columns(
+            TASK_EVENTS,
+            timestamp=np.arange(8, dtype=np.int64),
+            jobId=np.zeros(8, dtype=np.int64),
+            eventType=np.array([2, 1, 2, 1, 2, 1, 2, 1], dtype=np.int32),
+            category=np.array([5, 6, 5, 6, 7, 7, 5, 5], dtype=np.int32),
+            cpu=np.zeros(8, dtype=np.float32),
+        )
+        q = parse_cql(
+            "select distinct category from S [rows 8 slide 8] "
+            "where eventType == 2",
+            SCHEMAS,
+        )
+        windows = assign_windows(WindowDefinition.rows(8, 8), 0, 8)
+        result = q.operator.process_batch([StreamSlice(batch, windows, 0)])
+        # Only eventType == 2 rows survive: categories {5, 7}, not 6.
+        assert sorted(result.complete.column("category").tolist()) == [5, 7]
+
 
 class TestEndToEnd:
     def test_parsed_query_runs(self):

@@ -1,0 +1,193 @@
+"""Ingestion throughput through the connector SPI (PR 3).
+
+Measures records/second end-to-end — connector → dispatcher → circular
+buffers → workers → result stage — for the three ingest paths the SPI
+offers (in-memory, JSONL file replay, TCP line-protocol socket) on both
+execution backends.  The query is a cheap all-pass selection so the
+measurement is dominated by the data plane, not the operator.
+
+The figure of merit is ``records_per_s_wall`` (finite stream size over
+wall-clock run time).  Text-encoded paths (file, socket) additionally
+pay parse cost, which is the point: the record tracks how expensive
+each ingress format is relative to memory ingest on the same machine.
+
+Usage::
+
+    python benchmarks/bench_ingestion.py           # full run
+    python benchmarks/bench_ingestion.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.api import SaberSession
+from repro.core.engine import SaberConfig
+from repro.io import (
+    FileReplaySource,
+    MemorySource,
+    SocketSink,
+    SocketSource,
+    write_batch,
+)
+from repro.relational.tuples import TupleBatch
+from repro.workloads.synthetic import (
+    SYNTHETIC_SCHEMA,
+    TUPLE_SIZE,
+    SyntheticSource,
+    select_query,
+)
+
+BACKENDS = ("sim", "threads")
+CONNECTORS = ("memory", "file", "socket")
+
+
+def record_stream(tasks: int, task_tuples: int) -> TupleBatch:
+    """The benchmark stream, recorded in task-sized pulls."""
+    source = SyntheticSource(seed=11)
+    return TupleBatch.concat(
+        [source.next_tuples(task_tuples) for __ in range(tasks)]
+    )
+
+
+def make_source(connector: str, batch: TupleBatch, path: Path):
+    """Build the connector under test plus an optional feeder thread."""
+    if connector == "memory":
+        return MemorySource(SYNTHETIC_SCHEMA, batch), None
+    if connector == "file":
+        return FileReplaySource(path, SYNTHETIC_SCHEMA), None
+    source = SocketSource(SYNTHETIC_SCHEMA, capacity_tuples=len(batch))
+    host, port = source.address
+
+    def feed():
+        sink = SocketSink(host, port)
+        step = 4096
+        for i in range(0, len(batch), step):
+            sink.write(batch.slice(i, i + step))
+        sink.close()
+
+    feeder = threading.Thread(target=feed, daemon=True)
+    return source, feeder
+
+
+def run_one(
+    connector: str,
+    execution: str,
+    batch: TupleBatch,
+    path: Path,
+    workers: int,
+    task_tuples: int,
+):
+    source, feeder = make_source(connector, batch, path)
+    config = SaberConfig(
+        execution=execution,
+        task_size_bytes=task_tuples * TUPLE_SIZE,
+        cpu_workers=workers,
+        queue_capacity=16,
+        collect_output=False,
+    )
+    with SaberSession(config) as session:
+        handle = session.submit(select_query(1, pass_rate=1.0), sources=[source])
+        if feeder is not None:
+            feeder.start()
+        started = time.perf_counter()
+        report = session.run(tasks_per_query=1 << 30)  # finite: ends at EOS
+        wall = time.perf_counter() - started
+        if feeder is not None:
+            feeder.join()
+        return {
+            "connector": connector,
+            "backend": execution,
+            "tuples": len(batch),
+            "wall_clock_s": wall,
+            "records_per_s_wall": len(batch) / wall if wall > 0 else None,
+            "bytes_per_s_wall": len(batch) * TUPLE_SIZE / wall if wall > 0 else None,
+            "tasks_completed": handle.tasks_completed,
+            "engine_elapsed_s": report.elapsed_seconds,
+            "completed": handle.done,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized run: fewer, smaller tasks"
+    )
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="tasks of data to ingest (overrides the mode default)")
+    parser.add_argument("--task-tuples", type=int, default=2048,
+                        help="tuples per task")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="CPU workers (default: min(8, cpu_count))")
+    parser.add_argument("--output", type=Path, default=_ROOT / "BENCH_PR3.json")
+    args = parser.parse_args(argv)
+
+    tasks = args.tasks if args.tasks else (6 if args.smoke else 48)
+    task_tuples = args.task_tuples
+    if tasks <= 0 or task_tuples <= 0:
+        parser.error("--tasks and --task-tuples must be positive")
+    workers = args.workers if args.workers else min(8, os.cpu_count() or 4)
+
+    batch = record_stream(tasks, task_tuples)
+    results = []
+    incomplete = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "stream.jsonl"
+        write_batch(path, batch)
+        for connector in CONNECTORS:
+            for backend in BACKENDS:
+                entry = run_one(
+                    connector, backend, batch, path, workers, task_tuples
+                )
+                results.append(entry)
+                if not entry["completed"]:
+                    incomplete.append((connector, backend))
+                rate = entry["records_per_s_wall"] or 0.0
+                print(
+                    f"{connector:>7} [{backend:>7}] "
+                    f"{rate / 1e3:9.1f} krec/s  "
+                    f"wall={entry['wall_clock_s']:6.2f} s  "
+                    f"tasks={entry['tasks_completed']}"
+                )
+
+    record = {
+        "benchmark": "bench_ingestion",
+        "paper_figure": "data-plane ingest (§5.1), connector SPI paths",
+        "smoke": bool(args.smoke),
+        "config": {
+            "tasks": tasks,
+            "task_tuples": task_tuples,
+            "cpu_workers": workers,
+            "tuple_size_bytes": TUPLE_SIZE,
+        },
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "all_streams_completed": not incomplete,
+        "incomplete": [f"{c}/{b}" for c, b in incomplete],
+        "results": results,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if incomplete:
+        print(f"ERROR: streams did not complete: {incomplete}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

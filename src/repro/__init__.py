@@ -66,6 +66,23 @@ from .core import (
 )
 from .hardware import DEFAULT_SPEC, CpuModel, GpuModel, HardwareSpec
 from .api import QueryHandle, SaberSession, Stream, agg
+from .io import (
+    BackpressurePolicy,
+    CallbackSink,
+    FileReplaySource,
+    FileSink,
+    MemorySink,
+    MemorySource,
+    PullAdapter,
+    PushHandle,
+    PushSource,
+    ReplayClock,
+    SinkConnector,
+    SocketSink,
+    SocketSource,
+    SourceConnector,
+    write_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -105,6 +122,21 @@ __all__ = [
     "agg",
     "SaberSession",
     "QueryHandle",
+    "BackpressurePolicy",
+    "SourceConnector",
+    "SinkConnector",
+    "MemorySource",
+    "MemorySink",
+    "CallbackSink",
+    "PushSource",
+    "PushHandle",
+    "PullAdapter",
+    "FileReplaySource",
+    "FileSink",
+    "ReplayClock",
+    "SocketSource",
+    "SocketSink",
+    "write_batch",
     "HardwareSpec",
     "DEFAULT_SPEC",
     "CpuModel",

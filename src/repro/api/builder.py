@@ -118,14 +118,22 @@ class Stream:
     def source(
         cls, source: Any, name: "str | None" = None, schema: "Schema | None" = None
     ) -> "Stream":
-        """Plan over a bound source (anything with ``schema`` +
-        ``next_tuples``); the schema is taken from the source unless
-        overridden."""
+        """Plan over a bound source (anything satisfying the connector
+        SPI's pull side: ``schema`` + ``next_tuples``, see
+        :mod:`repro.io`); the schema is taken from the source unless
+        overridden.  The SPI check happens *here*, at plan construction,
+        so a bad source fails before anything is submitted."""
         schema = schema if schema is not None else getattr(source, "schema", None)
         if not isinstance(schema, Schema):
             raise BuilderError(
                 "Stream.source needs a source with a .schema attribute "
                 "(or an explicit schema=)"
+            )
+        if not callable(getattr(source, "next_tuples", None)):
+            raise BuilderError(
+                f"Stream.source: {type(source).__name__!r} has no callable "
+                ".next_tuples(count) — it does not satisfy the source SPI "
+                "(wrap push-only endpoints in a repro.io ingress source)"
             )
         return cls(_inputs=(_Input(name or schema.name, schema, source),))
 

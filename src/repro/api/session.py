@@ -34,7 +34,11 @@ released immediately; a query nobody consumes keeps at most the last
 Source binding is three-way, checked in order: explicit ``sources=`` at
 :meth:`submit`; sources bound into the :class:`~repro.api.Stream` plan
 via ``Stream.source``; and the session's stream registry
-(:meth:`register_stream`), matched by stream name.
+(:meth:`register_stream`), matched by stream name.  Sources and sinks
+are :mod:`repro.io` connectors (or anything satisfying the SPI, which
+is validated eagerly at registration): finite sources end their query
+handles (``handle.done``), push-capable sources ingest via
+:meth:`push`/:meth:`push_handle` and close via :meth:`close_stream`.
 """
 
 from __future__ import annotations
@@ -48,6 +52,8 @@ from ..core.cql import compile_statement
 from ..core.engine import Report, SaberConfig, SaberEngine
 from ..core.query import Query
 from ..errors import SessionError
+from ..io.base import SinkConnector, validate_source
+from ..io.push import PushHandle
 from ..relational.tuples import TupleBatch
 from .builder import Stream
 
@@ -81,6 +87,7 @@ class QueryHandle:
         self._cond = threading.Condition()
         self._chunks: "deque[TupleBatch]" = deque(maxlen=max_buffered)
         self._sinks: "list[Callable[[TupleBatch], None]]" = []
+        self._sink_connectors: "list[SinkConnector]" = []
         #: chunks discarded because the results() backlog hit its cap.
         self.dropped_chunks = 0
 
@@ -111,14 +118,40 @@ class QueryHandle:
 
     # -- public ----------------------------------------------------------------
 
-    def add_sink(self, callback: "Callable[[TupleBatch], None]") -> "QueryHandle":
-        """Register a per-query callback, fired live for every ordered
-        output chunk *on the emitting worker's thread* — keep it fast and
-        do not call back into the session from it.  Sinks take over
-        result consumption: chunks emitted while any sink is attached are
-        not buffered for :meth:`results`."""
-        self._sinks.append(callback)
+    def add_sink(
+        self, sink: "SinkConnector | Callable[[TupleBatch], None]"
+    ) -> "QueryHandle":
+        """Register a per-query sink — a :class:`~repro.io.SinkConnector`
+        or a plain callback — fired live for every ordered output chunk
+        *on the emitting worker's thread*: keep it fast and do not call
+        back into the session from it.  Sinks take over result
+        consumption: chunks emitted while any sink is attached are not
+        buffered for :meth:`results`.  Connector sinks are opened with
+        the query's output schema here and closed when the session
+        closes."""
+        if isinstance(sink, SinkConnector):
+            sink.open(self.query.output_schema)
+            self._sink_connectors.append(sink)
+            self._sinks.append(sink.write)
+        elif callable(sink):
+            self._sinks.append(sink)
+        else:
+            raise SessionError(
+                f"query {self.name!r}: sink must be a SinkConnector or a "
+                f"callable, got {type(sink).__name__}"
+            )
         return self
+
+    @property
+    def done(self) -> bool:
+        """Whether this query's finite stream is fully processed: the
+        sources ended, every task completed, and the tail windows were
+        flushed.  Always ``False`` for unbounded streams."""
+        return self._session._engine_run(self.query).eos_flushed
+
+    def _close_sinks(self) -> None:
+        for connector in self._sink_connectors:
+            connector.close()
 
     def results(self) -> "Iterator[TupleBatch]":
         """Consume the query's ordered output chunks (single consumer).
@@ -198,12 +231,14 @@ class SaberSession:
 
     def register_stream(self, name: str, source: Any) -> "SaberSession":
         """Register a named source once; ``sql``/``submit`` resolve FROM
-        clauses and unbound plans against the registry by stream name."""
-        schema = getattr(source, "schema", None)
-        if schema is None:
-            raise SessionError(
-                f"stream {name!r}: source has no .schema attribute"
-            )
+        clauses and unbound plans against the registry by stream name.
+
+        The source is validated against the connector SPI *here* — a
+        missing/wrong ``schema`` or absent ``next_tuples`` raises
+        :class:`~repro.errors.ValidationError` naming the stream,
+        instead of failing deep inside dispatch.
+        """
+        validate_source(name, source)
         self._streams[name] = source
         return self
 
@@ -220,6 +255,41 @@ class SaberSession:
                 f"unknown stream {name!r}; register_stream() it first "
                 f"(registered: {sorted(self._streams) or 'none'})"
             ) from None
+
+    # -- push ingestion --------------------------------------------------------
+
+    def push(self, name: str, records: Any) -> int:
+        """Push records into a registered push-capable stream; returns
+        the number of tuples accepted.  Thread-safe; callable while a
+        background run is live (that is the streaming deployment shape).
+        Records may be a ``TupleBatch``, a structured numpy array, or
+        rows (dicts / sequences)."""
+        return self.push_handle(name).push(records)
+
+    def push_handle(self, name: str) -> PushHandle:
+        """A producer-facing :class:`~repro.io.PushHandle` for a
+        registered push-capable stream (raises if the source has no
+        ``push``)."""
+        source = self._source_for(name)
+        if not callable(getattr(source, "push", None)):
+            raise SessionError(
+                f"stream {name!r} is not push-capable "
+                f"({type(source).__name__} has no .push); register a "
+                "PushSource to ingest by pushing"
+            )
+        return PushHandle(source)
+
+    def close_stream(self, name: str) -> None:
+        """Signal end-of-stream on a registered source (finite-stream
+        close): queued data drains, the query's tail windows flush, and
+        its handle completes."""
+        source = self._source_for(name)
+        close = getattr(source, "close", None)
+        if not callable(close):
+            raise SessionError(
+                f"stream {name!r}: {type(source).__name__} has no close()"
+            )
+        close()
 
     # -- submission ------------------------------------------------------------
 
@@ -241,7 +311,7 @@ class SaberSession:
         self,
         query: "Query | Stream",
         sources: "list[Any] | None" = None,
-        sink: "Callable[[TupleBatch], None] | None" = None,
+        sink: "SinkConnector | Callable[[TupleBatch], None] | None" = None,
         name: "str | None" = None,
     ) -> QueryHandle:
         """Submit a built :class:`Query` or an unbuilt :class:`Stream`
@@ -303,6 +373,10 @@ class SaberSession:
             )
 
     def _register(self, query: Query, sources: "list[Any] | None") -> QueryHandle:
+        if sources is not None and self.config.execute_data:
+            names = query.stream_names or [s.name for s in query.input_schemas]
+            for stream_name, source in zip(names, sources):
+                validate_source(stream_name, source)
         with self._lock:
             if self._closed:
                 raise SessionError("session is closed")
@@ -508,13 +582,34 @@ class SaberSession:
             raise error
 
     def close(self) -> None:
-        """Stop any background run and seal the session."""
+        """Stop any background run, close connectors and seal the
+        session.
+
+        Connector lifecycle ends with the session: sink connectors are
+        flushed/closed and every source the session consumed (registered
+        or submitted) has its ``close()`` called, releasing sockets,
+        reader threads and file handles.  Connector ``close`` is
+        idempotent and terminal, so double closes are harmless.
+        """
         if self._closed:
             return
         try:
             self.stop()
         finally:
             self._closed = True
+            for handle in self._handles.values():
+                handle._close_sinks()
+            seen: "set[int]" = set()
+            sources = list(self._streams.values())
+            for run in self.engine.runs:
+                sources.extend(run.dispatcher.sources or [])
+            for source in sources:
+                if id(source) in seen:
+                    continue
+                seen.add(id(source))
+                close = getattr(source, "close", None)
+                if callable(close):
+                    close()
 
     # -- context manager -------------------------------------------------------
 

@@ -4,8 +4,12 @@ Subcommands:
 
 * ``run`` — execute a named application query (Table 1) or an ad-hoc CQL
   string over one of the bundled workloads and print a run report;
+* ``replay`` — replay a recorded JSONL/CSV stream file through a query
+  (named or ad-hoc CQL) and optionally write the output to a file sink;
+* ``record`` — record a bundled workload stream to a JSONL/CSV file
+  (the replay-side inverse, for producing test fixtures);
 * ``list`` — list the bundled application queries;
-* ``hardware`` — print the calibrated hardware specification.
+* ``hardware`` — print the calibrated hardware spec.
 
 Examples::
 
@@ -13,6 +17,8 @@ Examples::
     python -m repro run CM1 --tasks 16 --task-size 65536
     python -m repro run --cql "select timestamp, avg(value) as a \\
         from SmartGridStr [range 60 slide 10]" --workload smartgrid
+    python -m repro record cluster events.jsonl --tuples 100000
+    python -m repro replay events.jsonl CM1 --sink totals.jsonl
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import sys
 from .api import SaberSession
 from .core.engine import SaberConfig
 from .hardware.specs import DEFAULT_SPEC
+from .io import FileReplaySource, FileSink, write_batch
 from .workloads import cluster, linearroad, smartgrid
 from .workloads.queries import APPLICATION_QUERIES, build
 
@@ -76,6 +83,62 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--show-rows", type=int, default=5, help="result rows to print"
+    )
+
+    replay = sub.add_parser(
+        "replay", help="replay a recorded JSONL/CSV stream file through a query"
+    )
+    replay.add_argument("input", help="stream file to replay (.jsonl or .csv)")
+    replay.add_argument(
+        "query", nargs="?", help="application query name (e.g. CM1)"
+    )
+    replay.add_argument("--cql", help="ad-hoc CQL string instead of a named query")
+    replay.add_argument(
+        "--workload", choices=sorted(_WORKLOADS), default=None,
+        help="workload whose stream name/schema the replayed file carries "
+        "(--cql runs; default: cluster)",
+    )
+    replay.add_argument(
+        "--format", choices=["jsonl", "csv"], default=None,
+        help="input format (default: inferred from the file suffix)",
+    )
+    replay.add_argument(
+        "--rate", type=float, default=None,
+        help="paced replay: tuples per wall-clock second (default: unpaced)",
+    )
+    replay.add_argument(
+        "--sink", help="write query output to this file (.jsonl or .csv)"
+    )
+    replay.add_argument(
+        "--task-size", type=int, default=64 << 10,
+        help="query task size phi in bytes",
+    )
+    replay.add_argument("--workers", type=int, default=4, help="CPU worker threads")
+    replay.add_argument("--no-gpu", action="store_true", help="disable the GPGPU")
+    replay.add_argument(
+        "--execution", choices=["sim", "threads"], default="threads",
+        help="execution backend (threads by default: replay is real I/O)",
+    )
+    replay.add_argument(
+        "--backpressure", choices=["block", "error", "drop_oldest"],
+        default="block", help="policy when the input buffers fill",
+    )
+    replay.add_argument(
+        "--show-rows", type=int, default=5, help="result rows to print"
+    )
+
+    record = sub.add_parser(
+        "record", help="record a bundled workload stream to a JSONL/CSV file"
+    )
+    record.add_argument("workload", choices=sorted(_WORKLOADS))
+    record.add_argument("output", help="file to write (.jsonl or .csv)")
+    record.add_argument(
+        "--tuples", type=int, default=65536, help="number of tuples to record"
+    )
+    record.add_argument("--seed", type=int, default=1, help="workload seed")
+    record.add_argument(
+        "--rate", type=int, default=256,
+        help="source tuples per logical second (time-window density)",
     )
 
     sub.add_parser("list", help="list the bundled application queries")
@@ -138,12 +201,86 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_replay(args: argparse.Namespace) -> int:
+    if bool(args.query) == bool(args.cql):
+        print("error: pass either a query name or --cql", file=sys.stderr)
+        return 2
+    config = SaberConfig(
+        task_size_bytes=args.task_size,
+        cpu_workers=args.workers,
+        use_gpu=not args.no_gpu,
+        execution=args.execution,
+        backpressure=args.backpressure,
+        collect_output=True,
+    )
+    sink = FileSink(args.sink) if args.sink else None
+    with SaberSession(config) as session:
+        if args.cql:
+            stream, schema, __ = _WORKLOADS[args.workload or "cluster"]
+            session.register_stream(
+                stream,
+                FileReplaySource(
+                    args.input, schema, format=args.format, rate=args.rate
+                ),
+            )
+            handle = session.sql(args.cql, name="replay")
+        else:
+            query, __ = build(args.query)
+            if query.arity != 1:
+                print(
+                    f"error: {args.query} takes {query.arity} input streams; "
+                    "replay supports single-input queries",
+                    file=sys.stderr,
+                )
+                return 2
+            replay_source = FileReplaySource(
+                args.input, query.input_schemas[0],
+                format=args.format, rate=args.rate,
+            )
+            handle = session.submit(query, sources=[replay_source])
+        if sink is not None:
+            handle.add_sink(sink)
+        query = handle.query
+        # A replayed file is finite: run until end-of-stream completes
+        # the query (EOS cuts dispatch short well before this budget).
+        report = session.run(tasks_per_query=1 << 30)
+    clock = "virtual" if args.execution == "sim" else "wall-clock"
+    print(f"query      : {query.name}")
+    print(f"replayed   : {args.input}")
+    print(f"complete   : {handle.done}")
+    print(f"throughput : {report.throughput_bytes / 1e6:.1f} MB/s ({clock})")
+    print(f"output     : {handle.output_rows} rows")
+    if sink is not None:
+        print(f"sink       : {args.sink} ({sink.rows_written} rows)")
+    output = handle.output()
+    if output is not None and len(output) and args.show_rows:
+        print(f"first {min(args.show_rows, len(output))} rows:")
+        for row in output.to_rows()[: args.show_rows]:
+            print(f"  {row}")
+    return 0
+
+
+def _command_record(args: argparse.Namespace) -> int:
+    if args.tuples <= 0:
+        print("error: --tuples must be positive", file=sys.stderr)
+        return 2
+    stream, __, make_source = _WORKLOADS[args.workload]
+    source = make_source(args.seed, args.rate)
+    write_batch(args.output, source.next_tuples(args.tuples))
+    print(f"recorded {args.tuples} tuples of {stream} to {args.output}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()
     if args.command == "hardware":
         return _command_hardware()
+    if args.command == "replay":
+        return _command_replay(args)
+    if args.command == "record":
+        return _command_record(args)
     return _command_run(args)
 
 

@@ -33,8 +33,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import SimulationError
+from ..errors import BackpressureError, IngestInterrupted, SaberError, SimulationError
 from ..gpu.kernels import execute_on_gpu
+from ..io.base import BackpressurePolicy
 from ..gpu.pipeline import MovementPipeline
 from ..hardware.cpu import CpuModel
 from ..hardware.gpu import GpuModel
@@ -86,6 +87,17 @@ class SaberConfig:
     #: ``"threads"`` (real worker threads, wall-clock timing).  Outputs
     #: are identical across backends; only the timing source differs.
     execution: str = "sim"
+    #: what the dispatcher does when a query's circular input buffers
+    #: are full: ``"block"`` waits for the result stage to release space
+    #: (lossless, the default), ``"error"`` raises a typed
+    #: :class:`~repro.errors.BackpressureError`, ``"drop_oldest"`` sheds
+    #: incoming source data to keep ingest live (counted on
+    #: ``Dispatcher.shed_tuples``; data already referenced by tasks is
+    #: never dropped).  Bounded *ingress* queues (push/socket sources)
+    #: carry their own per-connector policy.
+    backpressure: str = "block"
+    #: circular input buffer capacity, in query tasks per input stream.
+    buffer_capacity_tasks: int = 96
     spec: HardwareSpec = DEFAULT_SPEC
 
     def __post_init__(self) -> None:
@@ -98,6 +110,13 @@ class SaberConfig:
                 f"unknown execution backend {self.execution!r} "
                 "(expected 'sim' or 'threads')"
             )
+        try:
+            # One policy vocabulary, shared with the ingress queues.
+            self.backpressure = BackpressurePolicy.of(self.backpressure).value
+        except SaberError as exc:
+            raise SimulationError(str(exc)) from None
+        if self.buffer_capacity_tasks <= 0:
+            raise SimulationError("buffer_capacity_tasks must be positive")
 
 
 @dataclass
@@ -109,6 +128,17 @@ class QueryRun:
     result_stage: ResultStage
     tasks_dispatched: int = 0
     tasks_completed: int = 0
+    #: the query's sources ended, every task completed and the tail
+    #: windows were flushed — the finite stream is fully processed.
+    eos_flushed: bool = False
+
+    @property
+    def finished(self) -> bool:
+        """EOS observed and all dispatched tasks completed."""
+        return (
+            self.dispatcher.exhausted
+            and self.tasks_completed == self.tasks_dispatched
+        )
 
 
 @dataclass
@@ -227,10 +257,19 @@ class SaberEngine:
                 f"query {query.name!r}: sources are required unless "
                 "execute_data=False"
             )
+        if self.config.execute_data and sources is not None:
+            for source in sources:
+                bind = getattr(source, "bind_stop", None)
+                if callable(bind):
+                    # Blocking connector pulls poll this so a stop
+                    # request interrupts them promptly (and losslessly:
+                    # interrupted pulls stay staged in the dispatcher).
+                    bind(lambda: self.stop_requested)
         dispatcher = Dispatcher(
             query,
             sources if self.config.execute_data else None,
             self.config.task_size_bytes,
+            buffer_capacity_tasks=self.config.buffer_capacity_tasks,
         )
         result_stage = ResultStage(
             query,
@@ -296,13 +335,31 @@ class SaberEngine:
         return self._build_report(self._last_elapsed, flush=True)
 
     def _build_report(self, elapsed: float, flush: bool) -> Report:
-        """Backend-independent epilogue: outputs, counters, history."""
+        """Backend-independent epilogue: outputs, counters, history.
+
+        Queries whose finite sources ended (EOS observed, every task
+        completed) are *drained* here: their still-open windows flush so
+        the stream's tail is emitted and the query handle completes.
+        Per-query EOS draining is safe where engine-wide ``flush`` is
+        terminal, because an exhausted dispatcher cuts no further tasks
+        that could re-open the flushed windows.
+        """
         outputs: dict[str, TupleBatch | None] = {}
         output_rows: dict[str, int] = {}
         for run in self.runs:
+            if (
+                self.config.execute_data
+                and not flush
+                and run.finished
+                and not run.eos_flushed
+            ):
+                run.result_stage.flush(elapsed)
+                run.eos_flushed = True
             if flush and self.config.execute_data:
                 self._drained = True      # flush is end-of-stream
                 run.result_stage.flush(elapsed)
+                if run.finished:
+                    run.eos_flushed = True
             outputs[run.query.name] = (
                 run.result_stage.output() if self.config.collect_output else None
             )
@@ -322,7 +379,10 @@ class SaberEngine:
 
     def _unfinished_runs(self) -> "list[QueryRun]":
         return [
-            r for r in self.runs if r.tasks_dispatched < self._tasks_per_query
+            r
+            for r in self.runs
+            if r.tasks_dispatched < self._tasks_per_query
+            and not r.dispatcher.exhausted
         ]
 
     def _dispatch_next(self) -> None:
@@ -342,10 +402,45 @@ class SaberEngine:
             run.dispatcher.actual_task_bytes / rate
             + self.spec.dispatch_task_overhead
         )
+        if not run.dispatcher.can_create_task():
+            # Buffer backpressure (§5.1): the configured policy decides.
+            action = run.dispatcher.backpressure_action(self.config.backpressure)
+            if action == "shed":
+                self.loop.schedule(cost, lambda r=run: self._shed_dispatch(r))
+                return
+            if not self._inflight and not self.queue:
+                raise BackpressureError(
+                    f"query {run.query.name!r}: input buffers are full with "
+                    "no task in flight to release space — "
+                    "buffer_capacity_tasks is too small for this queue depth"
+                )
+            self._dispatch_blocked = True
+            return
         self.loop.schedule(cost, lambda r=run: self._finish_dispatch(r))
 
+    def _shed_dispatch(self, run: QueryRun) -> None:
+        """drop_oldest under full buffers: discard one task's worth."""
+        try:
+            run.dispatcher.shed_task()
+        except IngestInterrupted:
+            self._dispatch_active = False
+            return
+        self._dispatch_next()
+
     def _finish_dispatch(self, run: QueryRun) -> None:
-        task = run.dispatcher.create_task(self.loop.now)
+        try:
+            task = run.dispatcher.create_task(self.loop.now)
+        except IngestInterrupted:
+            # Stop requested during a blocking source pull; pulled data
+            # stays staged in the dispatcher for the next run.
+            self._dispatch_active = False
+            return
+        if task is None:
+            # End of stream with no residual data: the query is done
+            # dispatching; idle workers may need a starvation re-check.
+            self._wake_workers()
+            self._dispatch_next()
+            return
         run.tasks_dispatched += 1
         self.queue.append(task)
         self._wake_workers()
@@ -525,6 +620,10 @@ class SaberEngine:
         else:
             tasks_per_second = 1.0 / max(interval, 1e-12)
         self.scheduler.task_finished(task, processor, tasks_per_second, now)
+        # Completing a task released buffer space (the result stage
+        # advanced the free pointers), so a buffer-blocked dispatcher
+        # can make progress again.
+        self._unblock_dispatcher()
         if processor == CPU:
             worker.busy = False
             self._worker_try(worker)

@@ -42,7 +42,7 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
-from ..errors import SimulationError
+from ..errors import IngestInterrupted, SimulationError
 from ..sim.measurements import TaskRecord
 from .scheduler import CPU, GPU
 from .task import QueryTask
@@ -148,11 +148,13 @@ class ThreadedExecutor:
             ingest = self.config.ingest_bandwidth
             ingest_credit = 0.0  # wall-clock time already "paid for"
             while True:
+                shed = False
                 with self._cond:
                     pending = [
                         r
                         for r in self.runs
                         if r.tasks_dispatched < tasks_per_query
+                        and not r.dispatcher.exhausted
                     ]
                     if (
                         not pending
@@ -162,12 +164,20 @@ class ThreadedExecutor:
                         break
                     run = pending[rr_index % len(pending)]
                     rr_index += 1
-                    while (
-                        len(self.queue) >= self.config.queue_capacity
-                        or not run.dispatcher.can_create_task()
-                    ):
+                    while True:
                         if self._failure is not None or self.engine.stop_requested:
                             return
+                        if len(self.queue) < self.config.queue_capacity:
+                            if run.dispatcher.can_create_task():
+                                break
+                            # Buffer backpressure: the policy decides
+                            # (raises the typed error under 'error').
+                            action = run.dispatcher.backpressure_action(
+                                self.config.backpressure
+                            )
+                            if action == "shed":
+                                shed = True
+                                break
                         if not self._dispatch_waiting:
                             self._dispatch_waiting = True
                             # One wakeup on the transition so idle workers
@@ -176,12 +186,35 @@ class ThreadedExecutor:
                             self._cond.notify_all()
                         self._cond.wait(_WAIT_TIMEOUT)
                     self._dispatch_waiting = False
-                    # Reserve the slot before leaving the lock; only this
-                    # thread creates tasks, so the cursors stay coherent.
-                    run.tasks_dispatched += 1
+                    if not shed:
+                        # Reserve the slot before leaving the lock; only this
+                        # thread creates tasks, so the cursors stay coherent.
+                        run.tasks_dispatched += 1
+                if shed:
+                    # drop_oldest: discard one task's worth of incoming
+                    # data so ingest stays live (outside the queue lock).
+                    try:
+                        run.dispatcher.shed_task()
+                    except IngestInterrupted:
+                        pass  # stop requested; outer loop breaks
+                    continue
                 # Source pull + buffer insert happen outside the queue
                 # lock: the buffers lock their own pointer advancement.
-                task = run.dispatcher.create_task(self._now())
+                try:
+                    task = run.dispatcher.create_task(self._now())
+                except IngestInterrupted:
+                    # Stop requested during a blocking pull; staged data
+                    # survives in the dispatcher for the next run.
+                    with self._cond:
+                        run.tasks_dispatched -= 1
+                    continue
+                if task is None:
+                    # End of stream with no residual data: un-reserve and
+                    # wake workers so they observe dispatch completion.
+                    with self._cond:
+                        run.tasks_dispatched -= 1
+                        self._cond.notify_all()
+                    continue
                 with self._cond:
                     self.queue.append(task)
                     self._cond.notify_all()

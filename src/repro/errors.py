@@ -42,8 +42,54 @@ class SessionError(SaberError):
     """
 
 
+class ValidationError(SessionError):
+    """A source or sink fails the connector SPI contract.
+
+    Raised eagerly — at ``register_stream``/``submit`` time — so a
+    malformed source is reported by stream name instead of failing deep
+    inside dispatch.  Subclasses :class:`SessionError`: registering a
+    bad source is a session misuse.
+    """
+
+
 class BufferError_(SaberError):
     """A circular buffer operation failed (overflow, bad pointer)."""
+
+
+class BackpressureError(BufferError_):
+    """Ingress exceeded capacity under the ``error`` backpressure policy.
+
+    Raised by bounded ingress queues (push/socket sources) and by the
+    dispatcher when a circular input buffer has no room and the engine's
+    :class:`~repro.io.BackpressurePolicy` says to fail fast instead of
+    blocking or shedding.  Subclasses :class:`BufferError_` so callers of
+    the pre-SPI overflow behaviour keep working.
+    """
+
+
+class EndOfStream(SaberError):
+    """A finite source is exhausted (connector SPI control flow).
+
+    Raised by :meth:`~repro.io.SourceConnector.next_tuples` when fewer
+    tuples than requested remain; ``remainder`` carries the final short
+    batch (possibly ``None``/empty).  The dispatcher turns it into a
+    final short task and marks the query's stream done, which is what
+    lets finite streams complete their query handles.
+    """
+
+    def __init__(self, remainder=None) -> None:
+        super().__init__("end of stream")
+        #: the final partial batch (fewer tuples than requested), or None.
+        self.remainder = remainder
+
+
+class IngestInterrupted(SaberError):
+    """A blocking source pull was interrupted by an engine stop request.
+
+    Not an error condition: the dispatcher treats it as "stop now, keep
+    the stream position" — pulled-but-unconsumed data stays staged in the
+    dispatcher, so a later run resumes without loss.
+    """
 
 
 class DispatchError(SaberError):

@@ -1,0 +1,93 @@
+"""In-memory connectors: finite record sources, collecting sinks.
+
+These are the simplest SPI implementations — the reference semantics the
+file and socket connectors must match — and the workhorses of tests and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import EndOfStream, ValidationError
+from ..relational.schema import Schema
+from ..relational.tuples import TupleBatch
+from .base import SinkConnector, SourceConnector
+from .records import as_batch
+
+__all__ = ["MemorySource", "MemorySink", "CallbackSink"]
+
+
+class MemorySource(SourceConnector):
+    """Finite source over in-memory records (a batch or rows).
+
+    The whole dataset is materialised up front; ``next_tuples`` serves
+    consecutive slices and signals :class:`~repro.errors.EndOfStream`
+    at the end — the minimal finite stream.
+    """
+
+    def __init__(self, schema: Schema, records: Any) -> None:
+        self.schema = schema
+        self._data = as_batch(schema, records)
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._cursor
+
+    def close(self) -> None:
+        """End the stream at its current position (terminal)."""
+        self._cursor = len(self._data)
+
+    def next_tuples(self, count: int) -> TupleBatch:
+        start = self._cursor
+        if self.remaining >= count:
+            self._cursor = start + count
+            return self._data.slice(start, self._cursor)
+        self._cursor = len(self._data)
+        tail = self._data.slice(start, self._cursor)
+        raise EndOfStream(tail if len(tail) else None)
+
+
+class MemorySink(SinkConnector):
+    """Collects every output chunk; offers the concatenated stream."""
+
+    def __init__(self) -> None:
+        self.batches: "list[TupleBatch]" = []
+        self.schema: "Schema | None" = None
+        self.closed = False
+
+    def open(self, schema: Schema) -> None:
+        self.schema = schema
+
+    def write(self, batch: TupleBatch) -> None:
+        self.batches.append(batch)
+
+    def close(self) -> None:
+        self.closed = True
+
+    @property
+    def rows_written(self) -> int:
+        return sum(len(b) for b in self.batches)
+
+    def output(self) -> "TupleBatch | None":
+        """The concatenated output stream collected so far."""
+        batches = [b for b in self.batches if len(b)]
+        if not batches:
+            return None
+        return TupleBatch.concat(batches)
+
+
+class CallbackSink(SinkConnector):
+    """Adapts a plain callable into the sink SPI."""
+
+    def __init__(self, callback: "Callable[[TupleBatch], None]") -> None:
+        if not callable(callback):
+            raise ValidationError(f"CallbackSink needs a callable, got {type(callback).__name__}")
+        self._callback = callback
+
+    def write(self, batch: TupleBatch) -> None:
+        self._callback(batch)

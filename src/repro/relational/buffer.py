@@ -27,7 +27,7 @@ import threading
 
 import numpy as np
 
-from ..errors import BufferError_
+from ..errors import BackpressureError, BufferError_
 from .schema import Schema
 from .tuples import TupleBatch
 
@@ -69,8 +69,10 @@ class CircularTupleBuffer:
     def insert(self, batch: TupleBatch) -> int:
         """Append a batch; returns the logical index of its first tuple.
 
-        Raises :class:`BufferError_` on overflow — the engine applies
-        backpressure instead of silently dropping data.
+        Raises :class:`~repro.errors.BackpressureError` (a
+        :class:`BufferError_`) on overflow — the engine's configured
+        :class:`~repro.io.BackpressurePolicy` normally prevents ever
+        reaching this by blocking or shedding before the pull.
         """
         if batch.data.dtype != self.schema.dtype:
             raise BufferError_(
@@ -80,7 +82,7 @@ class CircularTupleBuffer:
         n = len(batch)
         with self._lock:
             if n > self.free_slots:
-                raise BufferError_(
+                raise BackpressureError(
                     f"circular buffer overflow: inserting {n} tuples with only "
                     f"{self.free_slots} free slots (capacity {self.capacity})"
                 )

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..api import Stream, agg
 from ..core.query import Query
+from ..io.base import GeneratorSource
 from ..relational.expressions import col, conjunction, disjunction
 from ..relational.schema import Schema
 from ..relational.tuples import TupleBatch
@@ -37,14 +38,15 @@ EVENT_FINISH = 3
 EVENT_OTHER = 0
 
 
-class ClusterMonitoringSource:
+class ClusterMonitoringSource(GeneratorSource):
     """Synthetic Google-cluster-trace-like task-event stream.
 
     ``failure_surge`` optionally injects periods of elevated task-failure
     probability: a tuple ``(period_tuples, surge_fraction, surge_rate)``
     meaning every ``period_tuples`` tuples, the last ``surge_fraction``
     of the period emits failures at ``surge_rate`` instead of the base
-    rate — the repeating surge the Fig. 16 trace contains.
+    rate — the repeating surge the Fig. 16 trace contains.  ``limit``
+    makes the stream finite (connector-SPI end-of-stream).
     """
 
     def __init__(
@@ -55,8 +57,9 @@ class ClusterMonitoringSource:
         jobs: int = 2048,
         base_failure_rate: float = 0.01,
         failure_surge: "tuple[int, float, float] | None" = None,
+        limit: "int | None" = None,
     ) -> None:
-        self.schema = TASK_EVENTS_SCHEMA
+        super().__init__(TASK_EVENTS_SCHEMA, limit=limit)
         self._rng = np.random.default_rng(seed)
         self._position = 0
         self._tuples_per_second = tuples_per_second
@@ -73,7 +76,7 @@ class ClusterMonitoringSource:
             rates[phase >= 1.0 - fraction] = surge_rate
         return rates
 
-    def next_tuples(self, count: int) -> TupleBatch:
+    def generate(self, count: int) -> TupleBatch:
         rng = self._rng
         indices = np.arange(self._position, self._position + count, dtype=np.int64)
         self._position += count

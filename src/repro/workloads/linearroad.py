@@ -23,6 +23,7 @@ import numpy as np
 
 from ..api import Stream, agg
 from ..core.query import Query
+from ..io.base import GeneratorSource
 from ..relational.expressions import col
 from ..relational.schema import Schema
 from ..relational.tuples import TupleBatch
@@ -36,8 +37,8 @@ POS_SPEED_SCHEMA = Schema.with_timestamp(
 FEET_PER_SEGMENT = 5280
 
 
-class LinearRoadSource:
-    """Synthetic Linear Road position-event stream."""
+class LinearRoadSource(GeneratorSource):
+    """Synthetic Linear Road position-event stream (``limit`` = finite)."""
 
     def __init__(
         self,
@@ -47,8 +48,9 @@ class LinearRoadSource:
         highways: int = 4,
         segments: int = 100,
         congested_fraction: float = 0.2,
+        limit: "int | None" = None,
     ) -> None:
-        self.schema = POS_SPEED_SCHEMA
+        super().__init__(POS_SPEED_SCHEMA, limit=limit)
         self._rng = np.random.default_rng(seed)
         self._position = 0
         self._tuples_per_second = tuples_per_second
@@ -62,7 +64,7 @@ class LinearRoadSource:
             self._rng.uniform(45.0, 70.0, segments),
         )
 
-    def next_tuples(self, count: int) -> TupleBatch:
+    def generate(self, count: int) -> TupleBatch:
         rng = self._rng
         indices = np.arange(self._position, self._position + count, dtype=np.int64)
         self._position += count

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..api import Stream, agg
 from ..core.query import Query
+from ..io.base import GeneratorSource
 from ..relational.expressions import col
 from ..relational.schema import Schema
 from ..relational.tuples import TupleBatch
@@ -35,8 +36,8 @@ LOCAL_LOAD_SCHEMA = Schema.with_timestamp(
 )
 
 
-class SmartGridSource:
-    """Synthetic smart-meter reading stream."""
+class SmartGridSource(GeneratorSource):
+    """Synthetic smart-meter reading stream (``limit`` makes it finite)."""
 
     def __init__(
         self,
@@ -46,8 +47,9 @@ class SmartGridSource:
         households_per_house: int = 4,
         plugs_per_household: int = 4,
         anomaly_rate: float = 0.02,
+        limit: "int | None" = None,
     ) -> None:
-        self.schema = SMART_GRID_SCHEMA
+        super().__init__(SMART_GRID_SCHEMA, limit=limit)
         self._rng = np.random.default_rng(seed)
         self._position = 0
         self._tuples_per_second = tuples_per_second
@@ -56,7 +58,7 @@ class SmartGridSource:
         self._plugs = plugs_per_household
         self._anomaly_rate = anomaly_rate
 
-    def next_tuples(self, count: int) -> TupleBatch:
+    def generate(self, count: int) -> TupleBatch:
         rng = self._rng
         indices = np.arange(self._position, self._position + count, dtype=np.int64)
         self._position += count
@@ -121,8 +123,8 @@ class DerivedLoadSource:
         rows["localAvgLoad"] = local.astype(np.float32)
         self._pending_local.append(rows)
 
-    def stream(self, which: str) -> "_DerivedStream":
-        return _DerivedStream(self, which)
+    def stream(self, which: str, limit: "int | None" = None) -> "_DerivedStream":
+        return _DerivedStream(self, which, limit=limit)
 
     def _next(self, which: str, count: int) -> np.ndarray:
         pending = self._pending_global if which == "global" else self._pending_local
@@ -136,17 +138,20 @@ class DerivedLoadSource:
         return out
 
 
-class _DerivedStream:
+class _DerivedStream(GeneratorSource):
     """Source view over one half of a :class:`DerivedLoadSource`."""
 
-    def __init__(self, parent: DerivedLoadSource, which: str) -> None:
+    def __init__(
+        self, parent: DerivedLoadSource, which: str, limit: "int | None" = None
+    ) -> None:
         if which not in ("global", "local"):
             raise ValueError("which must be 'global' or 'local'")
+        schema = GLOBAL_LOAD_SCHEMA if which == "global" else LOCAL_LOAD_SCHEMA
+        super().__init__(schema, limit=limit)
         self._parent = parent
         self._which = which
-        self.schema = GLOBAL_LOAD_SCHEMA if which == "global" else LOCAL_LOAD_SCHEMA
 
-    def next_tuples(self, count: int) -> TupleBatch:
+    def generate(self, count: int) -> TupleBatch:
         return TupleBatch(self.schema, self._parent._next(self._which, count))
 
 

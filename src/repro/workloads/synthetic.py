@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.query import Query
+from ..io.base import GeneratorSource
 from ..operators.aggregate_functions import AggregateSpec
 from ..operators.aggregation import Aggregation
 from ..operators.groupby import GroupedAggregation
@@ -40,12 +41,14 @@ TUPLE_SIZE = SYNTHETIC_SCHEMA.tuple_size  # 32 bytes
 VALUE_RANGE = 1 << 16
 
 
-class SyntheticSource:
-    """Unbounded uniform stream of 32-byte tuples.
+class SyntheticSource(GeneratorSource):
+    """Uniform stream of 32-byte tuples (a connector-SPI source).
 
     ``tuples_per_second`` fixes the logical-time density: timestamps
     advance one unit per ``tuples_per_second`` tuples (used by time-based
-    windows; count-based queries ignore it).
+    windows; count-based queries ignore it).  Unbounded by default;
+    ``limit`` makes the stream finite (it ends with
+    :class:`~repro.errors.EndOfStream` after that many tuples).
     """
 
     def __init__(
@@ -54,14 +57,15 @@ class SyntheticSource:
         seed: int = 1,
         tuples_per_second: int = 1024,
         groups: int = 64,
+        limit: "int | None" = None,
     ) -> None:
-        self.schema = schema
+        super().__init__(schema, limit=limit)
         self._rng = np.random.default_rng(seed)
         self._position = 0
         self._tuples_per_second = tuples_per_second
         self._groups = groups
 
-    def next_tuples(self, count: int) -> TupleBatch:
+    def generate(self, count: int) -> TupleBatch:
         start = self._position
         self._position += count
         indices = np.arange(start, start + count, dtype=np.int64)

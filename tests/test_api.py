@@ -266,6 +266,13 @@ class TestBuilderValidation:
         with pytest.raises(BuilderError, match="schema"):
             Stream.source(object())
 
+    def test_source_without_next_tuples(self):
+        class SchemaOnly:
+            schema = SCHEMA
+
+        with pytest.raises(BuilderError, match="next_tuples"):
+            Stream.source(SchemaOnly())
+
     def test_builder_errors_are_query_and_saber_errors(self):
         with pytest.raises(QueryError):
             plan().where(col("nope") > 1)

@@ -1,0 +1,172 @@
+"""CircularTupleBuffer under concurrency: wraparound + release with a
+push producer feeding the single inserting thread (satellite of the
+connector-SPI PR; the locked-pointer paths of the threaded backend had
+no dedicated multi-thread test).
+
+The buffer's contract is single-writer: one thread inserts, any thread
+may read retained ranges and advance the release pointer.  These tests
+hammer exactly that regime across many physical wraparounds.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.core.dispatcher import Dispatcher
+from repro.errors import EndOfStream
+from repro.io import PushSource
+from repro.operators.projection import identity_projection
+from repro.core.query import Query
+from repro.relational.buffer import CircularTupleBuffer
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+from repro.windows.definition import WindowDefinition
+
+SCHEMA = Schema.parse("timestamp:long, v:int", name="C")
+
+
+def batch(start, n):
+    return TupleBatch.from_columns(
+        SCHEMA,
+        timestamp=np.arange(start, start + n, dtype=np.int64),
+        v=np.arange(start, start + n, dtype=np.int64).astype(np.int32),
+    )
+
+
+class TestConcurrentInsertRelease:
+    TOTAL = 6_000
+    CAPACITY = 64          # tiny: hundreds of wraparounds
+    INSERT_CHUNK = 7       # misaligned with capacity: split inserts
+    READ_CHUNK = 13
+
+    def test_reader_sees_fifo_data_across_wraparound(self):
+        buf = CircularTupleBuffer(SCHEMA, self.CAPACITY)
+        errors = []
+
+        def producer():
+            try:
+                position = 0
+                while position < self.TOTAL:
+                    n = min(self.INSERT_CHUNK, self.TOTAL - position)
+                    while buf.free_slots < n:
+                        pass  # spin: the consumer releases space
+                    assert buf.insert(batch(position, n)) == position
+                    position += n
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        verified = 0
+        while verified < self.TOTAL and not errors:
+            available = buf.tail - verified
+            if available < min(self.READ_CHUNK, self.TOTAL - verified):
+                continue
+            stop = verified + min(self.READ_CHUNK, self.TOTAL - verified)
+            out = buf.read(verified, stop)
+            expected = np.arange(verified, stop, dtype=np.int32)
+            assert np.array_equal(out.column("v"), expected), (
+                f"corrupt read at [{verified}, {stop})"
+            )
+            buf.release(stop)
+            verified = stop
+        thread.join(timeout=30)
+        assert not errors, errors
+        assert verified == self.TOTAL
+
+    def test_out_of_order_release_from_second_thread(self):
+        """Releases may arrive out of order (workers finish out of
+        order); only the furthest pointer matters.  A releaser thread
+        replays completion order with inversions while the main thread
+        inserts and verifies."""
+        buf = CircularTupleBuffer(SCHEMA, self.CAPACITY)
+        release_queue = []
+        lock = threading.Lock()
+        done = threading.Event()
+
+        def releaser():
+            while not done.is_set() or release_queue:
+                with lock:
+                    if len(release_queue) >= 2:
+                        # swap: simulate out-of-order completions
+                        a, b = release_queue[0], release_queue[1]
+                        del release_queue[:2]
+                        pair = (b, a)
+                    elif release_queue and done.is_set():
+                        pair = (release_queue.pop(0),)
+                    else:
+                        pair = ()
+                for pointer in pair:
+                    buf.release(pointer)
+
+        thread = threading.Thread(target=releaser)
+        thread.start()
+        position = 0
+        chunk = 5
+        while position < 2_000:
+            while buf.free_slots < chunk:
+                pass
+            start = buf.insert(batch(position, chunk))
+            assert start == position
+            out = buf.read(position, position + chunk)
+            assert np.array_equal(
+                out.column("v"),
+                np.arange(position, position + chunk, dtype=np.int32),
+            )
+            position += chunk
+            with lock:
+                release_queue.append(position)
+        done.set()
+        thread.join(timeout=30)
+        assert buf.head == buf.tail == position
+
+
+class TestPushProducerThroughDispatcher:
+    """End-to-end: a producer thread pushes records; the dispatching
+    thread pulls fixed-size tasks into a small circular buffer; task
+    data must match the pushed sequence exactly despite wraparound."""
+
+    def test_dispatcher_tasks_match_pushed_sequence(self):
+        total, per_task = 8_192, 256
+        query = Query(
+            "pushed",
+            identity_projection(SCHEMA),
+            [WindowDefinition.rows(64)],
+        )
+        source = PushSource(SCHEMA, capacity_tuples=1024)
+        dispatcher = Dispatcher(
+            query,
+            [source],
+            task_size_bytes=per_task * SCHEMA.tuple_size,
+            buffer_capacity_tasks=4,  # tiny buffer: forces release reuse
+        )
+
+        def produce():
+            position = 0
+            while position < total:
+                n = min(100, total - position)
+                source.push(batch(position, n))
+                position += n
+            source.close()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        seen = 0
+        tasks = []
+        while True:
+            try:
+                task = dispatcher.create_task(0.0)
+            except EndOfStream:  # pragma: no cover - None signals EOS
+                break
+            if task is None:
+                break
+            data = task.batches[0].read()
+            expected = np.arange(seen, seen + len(data), dtype=np.int32)
+            assert np.array_equal(data.column("v"), expected)
+            seen += len(data)
+            tasks.append(task)
+            dispatcher.release(task)  # free space for the next task
+        producer.join(timeout=30)
+        assert dispatcher.exhausted
+        assert seen == total
+        assert len(tasks) == total // per_task

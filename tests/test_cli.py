@@ -63,3 +63,54 @@ class TestRun:
     def test_unknown_query_raises(self):
         with pytest.raises(KeyError):
             main(["run", "CM9", "--tasks", "2"])
+
+
+class TestRecordReplay:
+    def _record(self, tmp_path, tuples=4096):
+        trace = tmp_path / "events.jsonl"
+        assert main([
+            "record", "cluster", str(trace), "--tuples", str(tuples),
+            "--rate", "64",
+        ]) == 0
+        return trace
+
+    def test_record_writes_jsonl(self, tmp_path, capsys):
+        trace = self._record(tmp_path, tuples=512)
+        assert "recorded 512 tuples" in capsys.readouterr().out
+        assert len(trace.read_text().splitlines()) == 512
+
+    def test_replay_named_query_to_sink(self, tmp_path, capsys):
+        trace = self._record(tmp_path)
+        sink = tmp_path / "out.jsonl"
+        code = main([
+            "replay", str(trace), "CM1", "--sink", str(sink),
+            "--task-size", "49152", "--workers", "2", "--show-rows", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "complete   : True" in out
+        assert sink.exists() and sink.read_text().strip()
+
+    def test_replay_adhoc_cql_on_sim(self, tmp_path, capsys):
+        trace = self._record(tmp_path)
+        code = main([
+            "replay", str(trace), "--cql",
+            "select timestamp, category, sum(cpu) as totalCpu from "
+            "TaskEvents [range 60 slide 1] group by category",
+            "--workload", "cluster", "--execution", "sim",
+            "--task-size", "49152", "--workers", "2", "--show-rows", "0",
+        ])
+        assert code == 0
+        assert "complete   : True" in capsys.readouterr().out
+
+    def test_replay_requires_exactly_one_query_source(self, tmp_path):
+        trace = self._record(tmp_path, tuples=256)
+        assert main(["replay", str(trace)]) == 2
+        assert main([
+            "replay", str(trace), "CM1", "--cql", "select timestamp from S",
+        ]) == 2
+
+    def test_replay_rejects_multi_input_queries(self, tmp_path, capsys):
+        trace = self._record(tmp_path, tuples=256)
+        assert main(["replay", str(trace), "SG3", "--show-rows", "0"]) == 2
+        assert "input streams" in capsys.readouterr().err

@@ -1,20 +1,24 @@
-"""Backend comparison: sim (virtual time) vs threads (wall clock).
+"""Backend comparison matrix: sim vs threads vs processes.
 
 Runs the Fig. 8-style synthetic workload — PROJ4, SELECT16, AGG*,
-GROUP-BY8 and JOIN1 — on *real data* through both execution backends and
+GROUP-BY8 and JOIN1 — on *real data* through every execution backend and
 records a throughput/latency/equivalence entry per (query, backend) pair
-in ``BENCH_PR1.json``.  The sim backend reports the calibrated virtual
-throughput of the paper's server; the threads backend reports the real
-wall-clock throughput of this machine's numpy execution.  The two are
-not comparable to each other — what *is* comparable across commits is
-each backend against its own history, which is what the CI smoke job
-accumulates.
+in ``BENCH_PR4.json``.  The sim backend reports the calibrated virtual
+throughput of the paper's server; the threads and processes backends
+report the real wall-clock throughput of this machine's execution — the
+threads backend serialises Python-level operator work behind the GIL,
+the processes backend runs it on forked workers over shared-memory
+buffers, so on a multi-core machine the CPU-bound queries (AGG*,
+GROUP-BY8) are where processes pulls ahead.  Absolute wall-clock numbers
+are machine-dependent; what is comparable across commits is each
+backend against its own history, which is what the CI smoke job
+accumulates and ``check_regression.py`` gates.
 
-Equivalence is checked on the way: per query, the two backends' outputs
-must match.  Today every operator matches bitwise (the GPGPU kernels
-are defined to produce identical rows); float aggregation is compared
-to a tolerance anyway so a future GPGPU reduction kernel with a
-different float order degrades this check gracefully instead of
+Equivalence is checked on the way: per query, every backend's output
+must match the sim backend's.  Today every operator matches bitwise (the
+GPGPU kernels are defined to produce identical rows); float aggregation
+is compared to a tolerance anyway so a future GPGPU reduction kernel
+with a different float order degrades this check gracefully instead of
 failing the benchmark.
 
 Usage::
@@ -41,6 +45,7 @@ import numpy as np
 
 from repro.api import SaberSession
 from repro.core.engine import Report, SaberConfig
+from repro.core.executor_mp import fork_available
 from repro.workloads.synthetic import (
     TUPLE_SIZE,
     SyntheticSource,
@@ -51,7 +56,7 @@ from repro.workloads.synthetic import (
     select_query,
 )
 
-BACKENDS = ("sim", "threads")
+BACKENDS = ("sim", "threads", "processes")
 
 #: (label, query factory, source seeds, float-tolerant comparison) —
 #: aggregation over floats tolerates GPGPU reduction-tree reordering.
@@ -128,8 +133,12 @@ def main(argv=None) -> int:
                         help="tuples per task (overrides the mode default)")
     parser.add_argument("--workers", type=int, default=None,
                         help="CPU workers (default: min(8, cpu_count))")
+    parser.add_argument("--backends", nargs="+", choices=BACKENDS,
+                        default=list(BACKENDS),
+                        help="backends to run (sim is required: it is the "
+                             "equivalence oracle)")
     parser.add_argument("--output", type=Path,
-                        default=_ROOT / "BENCH_PR1.json")
+                        default=_ROOT / "BENCH_PR4.json")
     args = parser.parse_args(argv)
 
     for name in ("tasks", "task_tuples", "workers"):
@@ -137,14 +146,24 @@ def main(argv=None) -> int:
         if value is not None and value <= 0:
             parser.error(f"--{name.replace('_', '-')} must be positive, got {value}")
     tasks = args.tasks if args.tasks else (10 if args.smoke else 48)
-    task_tuples = args.task_tuples if args.task_tuples else (512 if args.smoke else 2048)
+    # Full runs use half the paper's 1 MB query-task size φ: large enough
+    # that per-task overheads (thread wakeups, process IPC) stop masking
+    # the operator work the backends are being compared on.
+    task_tuples = args.task_tuples if args.task_tuples else (512 if args.smoke else 16384)
     workers = args.workers if args.workers else min(8, os.cpu_count() or 4)
+    backends = list(dict.fromkeys(args.backends))
+    if "sim" not in backends:
+        parser.error("--backends must include sim (the equivalence oracle)")
+    if "processes" in backends and not fork_available():
+        print("skipping processes backend: no fork on this platform",
+              file=sys.stderr)
+        backends.remove("processes")
 
     results = []
     mismatches = []
     for label, make_query, seeds, tolerant in WORKLOAD:
         outputs = {}
-        for backend in BACKENDS:
+        for backend in backends:
             report, output, wall, query_name = run_backend(
                 backend, make_query, seeds, tasks, task_tuples, workers
             )
@@ -154,25 +173,30 @@ def main(argv=None) -> int:
             entry["output_rows"] = report.output_rows[query_name]
             results.append(entry)
             print(
-                f"{label:>10} [{backend:>7}] "
+                f"{label:>10} [{backend:>9}] "
                 f"tput={entry['throughput_bytes_per_s'] / 1e6:9.1f} MB/s  "
                 f"latency={entry['latency_mean_s'] * 1e3:7.3f} ms  "
                 f"wall={wall:6.2f} s"
             )
-        match = outputs_equal(outputs["sim"], outputs["threads"], tolerant)
-        if not match:
-            mismatches.append(label)
-        print(f"{label:>10} outputs {'match' if match else 'MISMATCH'}")
+        for backend in backends:
+            if backend == "sim":
+                continue
+            if not outputs_equal(outputs["sim"], outputs[backend], tolerant):
+                mismatches.append(f"{label}:{backend}")
+                print(f"{label:>10} outputs MISMATCH (sim vs {backend})")
+        if not any(m.startswith(f"{label}:") for m in mismatches):
+            print(f"{label:>10} outputs match across {len(backends)} backends")
 
     record = {
         "benchmark": "bench_backend_comparison",
-        "paper_figure": "Fig. 8 (synthetic queries), both execution backends",
+        "paper_figure": "Fig. 8 (synthetic queries), all execution backends",
         "smoke": bool(args.smoke),
         "config": {
             "tasks_per_query": tasks,
             "task_tuples": task_tuples,
             "cpu_workers": workers,
             "tuple_size_bytes": TUPLE_SIZE,
+            "backends": backends,
         },
         "machine": {
             "platform": platform.platform(),

@@ -1,0 +1,174 @@
+"""CI perf-regression gate over the backend-comparison smoke record.
+
+Compares the smoke-run ``BENCH_PR4.json`` produced by
+``bench_backend_comparison.py --smoke`` against the committed baseline
+(``benchmarks/baseline_smoke.json``) and exits non-zero on regression:
+
+* **equivalence** — the record must report every backend's outputs
+  identical to sim's; a divergence is always a failure;
+* **output rows** — per (query, backend), exactly the baseline's count:
+  the workload is seeded, so any drift is a semantic change, not noise;
+* **throughput, ±tolerance (default 30%)** — per query, the *sim*
+  backend's virtual throughput comes from the calibrated hardware
+  models and is deterministic for a given configuration, so it gates on
+  every machine.  Wall-clock backends (threads/processes) vary wildly
+  across CI runners; they are gated only under ``--gate-wall-clock``
+  (useful when comparing runs of the same machine) — their equivalence
+  and row counts are always gated.
+
+A config drift between baseline and record (task sizes, worker counts)
+fails loudly instead of comparing apples to oranges; regenerate the
+baseline with ``--write-baseline`` after an intentional change.
+
+Usage::
+
+    python benchmarks/check_regression.py                    # gate
+    python benchmarks/check_regression.py --write-baseline   # refresh
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_CURRENT = _ROOT / "BENCH_PR4.json"
+DEFAULT_BASELINE = _ROOT / "benchmarks" / "baseline_smoke.json"
+
+#: config keys that make throughput/row counts comparable at all —
+#: cpu_workers included because the sim backend's contention model (and
+#: with it the gated virtual throughput) depends on it, so both the CI
+#: smoke step and the baseline pin ``--workers``.
+_CONFIG_KEYS = ("tasks_per_query", "task_tuples", "tuple_size_bytes", "cpu_workers")
+
+#: backends whose throughput is deterministic for a given config
+#: (virtual time from the calibrated models), hence gateable anywhere.
+_DETERMINISTIC_BACKENDS = {"sim"}
+
+
+def entries_by_key(record: dict) -> dict:
+    return {(r["query"], r["backend"]): r for r in record["results"]}
+
+
+def build_baseline(record: dict) -> dict:
+    """The gated subset of a smoke record."""
+    entries = {}
+    for (query, backend), row in sorted(entries_by_key(record).items()):
+        entry = {"output_rows": row["output_rows"]}
+        entry["throughput_bytes_per_s"] = row["throughput_bytes_per_s"]
+        entries[f"{query}/{backend}"] = entry
+    return {
+        "source": "bench_backend_comparison --smoke",
+        "config": {k: record["config"][k] for k in _CONFIG_KEYS},
+        "entries": entries,
+    }
+
+
+def check(record: dict, baseline: dict, tolerance: float,
+          gate_wall_clock: bool) -> "list[str]":
+    failures = []
+    if not record.get("outputs_equivalent", False):
+        failures.append(
+            "backend outputs diverged: "
+            f"{record.get('mismatched_queries')}"
+        )
+    for key in _CONFIG_KEYS:
+        if record["config"].get(key) != baseline["config"].get(key):
+            failures.append(
+                f"config drift on {key!r}: record "
+                f"{record['config'].get(key)} vs baseline "
+                f"{baseline['config'].get(key)} — if intentional, refresh "
+                "the baseline with --write-baseline"
+            )
+    if failures:
+        return failures  # row/throughput comparisons would be noise
+    current = entries_by_key(record)
+    for name, expected in sorted(baseline["entries"].items()):
+        query, backend = name.rsplit("/", 1)
+        row = current.get((query, backend))
+        if row is None:
+            failures.append(f"{name}: missing from the current record")
+            continue
+        if row["output_rows"] != expected["output_rows"]:
+            failures.append(
+                f"{name}: output_rows {row['output_rows']} != baseline "
+                f"{expected['output_rows']} (seeded workload: this is a "
+                "semantic change, not noise)"
+            )
+        gate_throughput = backend in _DETERMINISTIC_BACKENDS or gate_wall_clock
+        if not gate_throughput:
+            continue
+        base = expected["throughput_bytes_per_s"]
+        got = row["throughput_bytes_per_s"]
+        floor = base * (1.0 - tolerance)
+        if got < floor:
+            failures.append(
+                f"{name}: throughput {got / 1e6:.1f} MB/s regressed below "
+                f"{floor / 1e6:.1f} MB/s (baseline {base / 1e6:.1f} MB/s "
+                f"- {tolerance:.0%})"
+            )
+        elif got > base * (1.0 + tolerance):
+            print(
+                f"note: {name} improved beyond +{tolerance:.0%} "
+                f"({got / 1e6:.1f} vs {base / 1e6:.1f} MB/s) — consider "
+                "refreshing the baseline to lock the win in"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
+                        help="smoke record to gate (default: BENCH_PR4.json)")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="relative throughput tolerance (default 0.30)")
+    parser.add_argument("--gate-wall-clock", action="store_true",
+                        help="also gate threads/processes throughput "
+                             "(same-machine comparisons only)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from --current")
+    args = parser.parse_args(argv)
+    if not (0.0 < args.tolerance < 1.0):
+        parser.error(f"--tolerance must be in (0, 1), got {args.tolerance}")
+
+    record = json.loads(args.current.read_text())
+    if not record.get("smoke"):
+        print(
+            f"warning: {args.current} is not a --smoke record; the "
+            "committed baseline is smoke-sized",
+            file=sys.stderr,
+        )
+    if args.write_baseline:
+        if not record.get("outputs_equivalent", False):
+            print(
+                "refusing to write a baseline from a record whose backend "
+                f"outputs diverged ({record.get('mismatched_queries')}): its "
+                "row counts would lock wrong semantics into the gate",
+                file=sys.stderr,
+            )
+            return 1
+        baseline = build_baseline(record)
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {args.baseline} ({len(baseline['entries'])} entries)")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(record, baseline, args.tolerance, args.gate_wall_clock)
+    if failures:
+        print(f"REGRESSION GATE FAILED ({len(failures)} finding(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    gated = len(baseline["entries"])
+    print(f"regression gate passed: {gated} (query, backend) entries within "
+          f"±{args.tolerance:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -590,6 +590,12 @@ class SaberSession:
         or submitted) has its ``close()`` called, releasing sockets,
         reader threads and file handles.  Connector ``close`` is
         idempotent and terminal, so double closes are harmless.
+
+        Engine resources end here too: ``stop()`` already drained and
+        joined any worker processes (the processes backend forks workers
+        per run and always reaps them when the run returns), and
+        ``engine.shutdown()`` then unlinks the shared-memory buffer
+        segments that incremental runs kept alive.
         """
         if self._closed:
             return
@@ -610,6 +616,7 @@ class SaberSession:
                 close = getattr(source, "close", None)
                 if callable(close):
                     close()
+            self.engine.shutdown()
 
     # -- context manager -------------------------------------------------------
 

@@ -73,8 +73,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="task scheduling policy",
     )
     run.add_argument(
-        "--execution", choices=["sim", "threads"], default="sim",
-        help="execution backend: virtual-time simulation or real threads",
+        "--execution", choices=["sim", "threads", "processes"], default="sim",
+        help="execution backend: virtual-time simulation, real threads, "
+             "or forked worker processes (shared memory, POSIX only)",
     )
     run.add_argument("--seed", type=int, default=1, help="workload seed")
     run.add_argument(
@@ -116,7 +117,7 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--workers", type=int, default=4, help="CPU worker threads")
     replay.add_argument("--no-gpu", action="store_true", help="disable the GPGPU")
     replay.add_argument(
-        "--execution", choices=["sim", "threads"], default="threads",
+        "--execution", choices=["sim", "threads", "processes"], default="threads",
         help="execution backend (threads by default: replay is real I/O)",
     )
     replay.add_argument(

@@ -61,7 +61,7 @@ _KEYWORDS = {
 
 @dataclass
 class _Token:
-    kind: str   # "number" | "name" | "op" | "keyword"
+    kind: str  # "number" | "name" | "op" | "keyword"
     text: str
 
 
@@ -188,8 +188,8 @@ class _Parser:
 @dataclass
 class _SelectItem:
     alias: str
-    expression: "Expression | None"       # plain expression
-    aggregate: "AggregateSpec | None"     # or aggregate
+    expression: "Expression | None"  # plain expression
+    aggregate: "AggregateSpec | None"  # or aggregate
 
 
 @dataclass
@@ -220,9 +220,7 @@ def _parse_select_items(parser: _Parser) -> "tuple[list[_SelectItem], bool]":
                 alias = ""
                 if parser.accept("keyword", "as"):
                     alias = parser.next().text
-                items.append(
-                    _SelectItem(alias, None, AggregateSpec(fn, column, alias))
-                )
+                items.append(_SelectItem(alias, None, AggregateSpec(fn, column, alias)))
             else:
                 parser.pos = save
                 expr = parser.parse_expression()

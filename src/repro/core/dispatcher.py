@@ -69,6 +69,7 @@ class Dispatcher:
         sources: "list[Source] | None",
         task_size_bytes: int,
         buffer_capacity_tasks: int = 96,
+        buffer_backing: str = "local",
     ) -> None:
         if task_size_bytes <= 0:
             raise DispatchError("task size must be positive")
@@ -94,7 +95,7 @@ class Dispatcher:
         else:
             for schema, per_task in zip(self._schemas, self._tuples_per_input):
                 capacity = per_task * buffer_capacity_tasks
-                self.buffers.append(CircularTupleBuffer(schema, capacity))
+                self.buffers.append(CircularTupleBuffer(schema, capacity, backing=buffer_backing))
         self._previous_last_ts: "list[int | None]" = [None] * len(self._schemas)
         self._cursor = [0] * len(self._schemas)
         #: staged pulls: batches already taken from the sources but not
@@ -110,9 +111,7 @@ class Dispatcher:
     @property
     def actual_task_bytes(self) -> int:
         """Task size realised after rounding to whole tuples."""
-        return sum(
-            n * s.tuple_size for n, s in zip(self._tuples_per_input, self._schemas)
-        )
+        return sum(n * s.tuple_size for n, s in zip(self._tuples_per_input, self._schemas))
 
     def can_create_task(self) -> bool:
         """Whether every input buffer has room for the next task's tuples.
@@ -174,9 +173,7 @@ class Dispatcher:
                 self._staged[i] = data
                 continue
             if len(data) != count:
-                raise DispatchError(
-                    f"source {i} returned {len(data)} tuples, wanted {count}"
-                )
+                raise DispatchError(f"source {i} returned {len(data)} tuples, wanted {count}")
             self._staged[i] = data
         return eos
 
@@ -212,14 +209,10 @@ class Dispatcher:
                     buffer = self.buffers[i]
                     inserted_at = buffer.insert(data)
                     if inserted_at != start:
-                        raise DispatchError(
-                            f"buffer cursor out of sync: {inserted_at} != {start}"
-                        )
+                        raise DispatchError(f"buffer cursor out of sync: {inserted_at} != {start}")
                     if schema.has_timestamp:
                         self._previous_last_ts[i] = int(data.timestamps[-1])
-                batches.append(
-                    BatchRef(self.buffers[i], start, stop, prev_last)
-                )
+                batches.append(BatchRef(self.buffers[i], start, stop, prev_last))
                 task_bytes += len(data) * schema.tuple_size
             else:
                 stop = start + count
@@ -260,3 +253,13 @@ class Dispatcher:
         for ref in task.batches:
             if ref.buffer is not None:
                 ref.buffer.release(ref.stop)
+
+    def close(self) -> None:
+        """Release the input buffers' backing stores (engine shutdown).
+
+        Unlinks shared-memory segments under ``buffer_backing="shared"``;
+        a no-op for local backings.  Idempotent.
+        """
+        for buffer in self.buffers:
+            if buffer is not None:
+                buffer.close()

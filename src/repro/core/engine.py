@@ -1,6 +1,6 @@
 """The SABER engine (§4): dispatch → schedule → execute → result stages.
 
-The engine offers two execution backends behind one API
+The engine offers three execution backends behind one API
 (``SaberConfig(execution=...)``):
 
 * ``"sim"`` (default) — a deterministic discrete-event simulation.
@@ -10,8 +10,13 @@ The engine offers two execution backends behind one API
   DESIGN.md);
 * ``"threads"`` — real ``threading.Thread`` workers pulling tasks from
   the shared queue under the same scheduling discipline, timed by the
-  wall clock (:mod:`repro.core.executor`).  Outputs are identical to the
-  sim backend: the result stage emits in task-id order either way.
+  wall clock (:mod:`repro.core.executor`);
+* ``"processes"`` — forked worker processes executing operators in
+  parallel (no GIL) against shared-memory circular buffers, fed and
+  collected by the parent (:mod:`repro.core.executor_mp`).
+
+Outputs are identical across all backends: the result stage emits in
+task-id order either way.
 
 Entities:
 
@@ -47,6 +52,7 @@ from ..sim.measurements import Measurements, TaskRecord
 from ..windows.assigner import WindowSet, assign_windows
 from .dispatcher import Dispatcher, Source
 from .executor import ThreadedExecutor
+from .executor_mp import ProcessExecutor, fork_available
 from .query import Query
 from .result_stage import ResultStage
 from .scheduler import (
@@ -70,7 +76,7 @@ class SaberConfig:
     use_gpu: bool = True
     task_size_bytes: int = 1 << 20
     queue_capacity: int = 32
-    scheduler: str = "hls"                      # "hls" | "fcfs" | "static"
+    scheduler: str = "hls"  # "hls" | "fcfs" | "static"
     static_assignment: "dict[str, str] | None" = None
     switch_threshold: int = 1000
     matrix_initial: float = 1000.0
@@ -79,13 +85,16 @@ class SaberConfig:
     #: proportionally tighter.  Benchmarks that reproduce Fig. 16 pass
     #: the paper's 0.1 s explicitly.
     matrix_refresh_seconds: float = 0.001
-    ingest_bandwidth: "float | None" = None     # bytes/s cap (e.g. 10 GbE)
+    ingest_bandwidth: "float | None" = None  # bytes/s cap (e.g. 10 GbE)
     pipelined: bool = True
     execute_data: bool = True
     collect_output: bool = True
-    #: execution backend: ``"sim"`` (virtual-time discrete-event loop) or
-    #: ``"threads"`` (real worker threads, wall-clock timing).  Outputs
-    #: are identical across backends; only the timing source differs.
+    #: execution backend: ``"sim"`` (virtual-time discrete-event loop),
+    #: ``"threads"`` (real worker threads, wall-clock timing) or
+    #: ``"processes"`` (forked worker processes over shared-memory
+    #: buffers — GIL-free operator parallelism; POSIX only).  Outputs
+    #: are identical across backends; only the timing source and the
+    #: parallelism substrate differ.
     execution: str = "sim"
     #: what the dispatcher does when a query's circular input buffers
     #: are full: ``"block"`` waits for the result stage to release space
@@ -105,10 +114,15 @@ class SaberConfig:
             raise SimulationError("enable at least one processor type")
         if self.use_cpu and self.cpu_workers <= 0:
             raise SimulationError("cpu_workers must be positive when use_cpu")
-        if self.execution not in ("sim", "threads"):
+        if self.execution not in ("sim", "threads", "processes"):
             raise SimulationError(
                 f"unknown execution backend {self.execution!r} "
-                "(expected 'sim' or 'threads')"
+                "(expected 'sim', 'threads' or 'processes')"
+            )
+        if self.execution == "processes" and not fork_available():
+            raise SimulationError(
+                "execution='processes' requires the fork start method "
+                "(POSIX); use execution='threads' on this platform"
             )
         try:
             # One policy vocabulary, shared with the ingress queues.
@@ -135,10 +149,7 @@ class QueryRun:
     @property
     def finished(self) -> bool:
         """EOS observed and all dispatched tasks completed."""
-        return (
-            self.dispatcher.exhausted
-            and self.tasks_completed == self.tasks_dispatched
-        )
+        return self.dispatcher.exhausted and self.tasks_completed == self.tasks_dispatched
 
 
 @dataclass
@@ -146,7 +157,7 @@ class Report:
     """Outcome of one engine run.
 
     Times are virtual (calibrated models) for the sim backend and
-    wall-clock seconds for the threads backend.
+    wall-clock seconds for the threads and processes backends.
     """
 
     measurements: Measurements
@@ -270,6 +281,9 @@ class SaberEngine:
             sources if self.config.execute_data else None,
             self.config.task_size_bytes,
             buffer_capacity_tasks=self.config.buffer_capacity_tasks,
+            # Worker processes read task ranges across the fork boundary,
+            # so their buffers must live in OS shared memory.
+            buffer_backing="shared" if self.config.execution == "processes" else "local",
         )
         result_stage = ResultStage(
             query,
@@ -295,6 +309,11 @@ class SaberEngine:
             )
         if self.config.execution == "threads":
             elapsed = ThreadedExecutor(self).run(tasks_per_query)
+        elif self.config.execution == "processes":
+            # Workers are forked per run (they inherit the current engine
+            # state) and always joined before run() returns; the shared
+            # buffers persist across incremental runs until shutdown().
+            elapsed = ProcessExecutor(self).run(tasks_per_query)
         else:
             self._tasks_per_query = tasks_per_query
             self._dispatch_active = True
@@ -322,6 +341,18 @@ class SaberEngine:
         """Re-arm the engine after a stop (see :attr:`stop_requested`)."""
         self.stop_requested = False
 
+    def shutdown(self) -> None:
+        """Release engine-owned OS resources; idempotent.
+
+        The processes backend re-homes the circular input buffers onto
+        shared-memory segments, which outlive any single run (incremental
+        runs re-attach).  Call this when the engine will not run again —
+        sessions do, from ``close()`` — to unlink the segments instead of
+        leaning on the interpreter-exit finalizer.
+        """
+        for run in self.runs:
+            run.dispatcher.close()
+
     def drain(self) -> Report:
         """Finalise still-open windows and rebuild the report.
 
@@ -347,16 +378,11 @@ class SaberEngine:
         outputs: dict[str, TupleBatch | None] = {}
         output_rows: dict[str, int] = {}
         for run in self.runs:
-            if (
-                self.config.execute_data
-                and not flush
-                and run.finished
-                and not run.eos_flushed
-            ):
+            if self.config.execute_data and not flush and run.finished and not run.eos_flushed:
                 run.result_stage.flush(elapsed)
                 run.eos_flushed = True
             if flush and self.config.execute_data:
-                self._drained = True      # flush is end-of-stream
+                self._drained = True  # flush is end-of-stream
                 run.result_stage.flush(elapsed)
                 if run.finished:
                     run.eos_flushed = True
@@ -398,10 +424,7 @@ class SaberEngine:
         rate = self.spec.dispatch_bandwidth
         if self.config.ingest_bandwidth is not None:
             rate = min(rate, self.config.ingest_bandwidth)
-        cost = (
-            run.dispatcher.actual_task_bytes / rate
-            + self.spec.dispatch_task_overhead
-        )
+        cost = run.dispatcher.actual_task_bytes / rate + self.spec.dispatch_task_overhead
         if not run.dispatcher.can_create_task():
             # Buffer backpressure (§5.1): the configured policy decides.
             action = run.dispatcher.backpressure_action(self.config.backpressure)
@@ -498,19 +521,25 @@ class SaberEngine:
 
     # -- task execution -------------------------------------------------------------------
 
-    def _materialise(self, task: QueryTask) -> "tuple[list[StreamSlice], BatchResult | None, dict[str, float], int]":
-        """Execute the batch operator function (or synthesise stats)."""
+    def _materialise(
+        self, task: QueryTask, copy: bool = True
+    ) -> "tuple[list[StreamSlice], BatchResult | None, dict[str, float], int]":
+        """Execute the batch operator function (or synthesise stats).
+
+        ``copy=False`` reads task batches as zero-copy views of the
+        circular buffers — the worker-process path, where the buffer is a
+        shared segment and the range stays retained until the task's
+        result has been processed by the parent.
+        """
         query = task.query
         if self.config.execute_data:
             slices = []
             for ref, window in zip(task.batches, query.windows):
-                batch = ref.read()
+                batch = ref.read(copy=copy)
                 if window is None:
                     windows = WindowSet.empty()
                 else:
-                    timestamps = (
-                        batch.timestamps if batch.schema.has_timestamp else None
-                    )
+                    timestamps = batch.timestamps if batch.schema.has_timestamp else None
                     windows = assign_windows(
                         window,
                         ref.start,

@@ -156,11 +156,7 @@ class ThreadedExecutor:
                         if r.tasks_dispatched < tasks_per_query
                         and not r.dispatcher.exhausted
                     ]
-                    if (
-                        not pending
-                        or self._failure is not None
-                        or self.engine.stop_requested
-                    ):
+                    if not pending or self._failure is not None or self.engine.stop_requested:
                         break
                     run = pending[rr_index % len(pending)]
                     rr_index += 1
@@ -172,9 +168,7 @@ class ThreadedExecutor:
                                 break
                             # Buffer backpressure: the policy decides
                             # (raises the typed error under 'error').
-                            action = run.dispatcher.backpressure_action(
-                                self.config.backpressure
-                            )
+                            action = run.dispatcher.backpressure_action(self.config.backpressure)
                             if action == "shed":
                                 shed = True
                                 break
@@ -221,10 +215,7 @@ class ThreadedExecutor:
                 if ingest is not None:
                     # Token-bucket pacing against the ingest cap: each
                     # task spends size/rate seconds of wall-clock budget.
-                    ingest_credit = (
-                        max(ingest_credit, self._now())
-                        + task.size_bytes / ingest
-                    )
+                    ingest_credit = max(ingest_credit, self._now()) + task.size_bytes / ingest
                     delay = ingest_credit - self._now()
                     if delay > 0:
                         time.sleep(delay)
@@ -265,9 +256,7 @@ class ThreadedExecutor:
             # Condition-variable starvation guard: when nothing is in
             # flight and the dispatcher is blocked or done, no future
             # event would ever satisfy the lookahead — take the head.
-            if self._inflight == 0 and (
-                self._dispatch_done or self._dispatch_waiting
-            ):
+            if self._inflight == 0 and (self._dispatch_done or self._dispatch_waiting):
                 index = 0
             else:
                 return None

@@ -1,0 +1,342 @@
+"""Process-parallel execution backend: §4's worker model on real cores.
+
+``SaberConfig(execution="processes")`` runs the same architecture as the
+threaded backend (:mod:`repro.core.executor`) with the Python-level
+operator work moved out of the GIL: N **CPU worker processes** plus
+(when enabled) one **GPGPU worker process** execute batch operator
+functions in parallel, while the parent process keeps every piece of
+coordination state exactly where the paper puts it:
+
+* the **dispatcher** (a parent thread) alone pulls source data, appends
+  to the circular input buffers and cuts fixed-size query tasks — the
+  buffers are re-homed onto :mod:`multiprocessing.shared_memory`
+  segments (``buffer backing "shared"``), so an insert made by the
+  parent is immediately visible to every worker and task reads stay
+  zero-copy views of the one segment;
+* **HLS task selection** runs in the parent: workers do not race for
+  the queue — the parent observes per-processor capacity (one
+  outstanding task per worker) and walks ``Scheduler.select`` at the
+  latest possible moment, sending the chosen task's *descriptor*
+  (pointer ranges, not data) down a per-processor task queue;
+* workers execute the operator against the shared buffers and send the
+  :class:`~repro.operators.base.BatchResult` back over a **completion
+  queue**; the parent's **result stage** re-orders completions and
+  frees buffer space strictly in task order, exactly as the other
+  backends do — which is why outputs are byte-identical across
+  sim/threads/processes — and throughput feedback flows into the HLS
+  matrix from the completion messages.
+
+Workers are forked (never spawned): operator graphs, closures and the
+engine object cross into the children by inheritance, so nothing needs
+to pickle except task descriptors and results.  Workers live for one
+``run()`` call and are always joined before it returns; the shared
+segments persist across incremental runs and are unlinked by
+``SaberEngine.shutdown()`` (sessions call it from ``close()``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_lib
+import sys
+import threading
+import time
+import traceback
+from typing import TYPE_CHECKING, Any
+
+from ..errors import SimulationError
+from ..sim.measurements import TaskRecord
+from .executor import _WAIT_TIMEOUT, ThreadedExecutor
+from .scheduler import CPU, GPU
+from .task import BatchRef, QueryTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import SaberEngine
+
+#: grace period for workers to consume their shutdown sentinel.
+_JOIN_TIMEOUT = 5.0
+
+#: outstanding task descriptors per worker.  1 would reproduce the
+#: threaded backend's claim-at-completion discipline exactly, but leaves
+#: a worker idle for the completion→feed round-trip over the queues; one
+#: task of lookahead hides that latency.  The scheduler still selects
+#: under the parent's queue lock — selection is just up to one task
+#: earlier than a thread worker's would be.
+_PREFETCH_PER_WORKER = 2
+
+
+def fork_available() -> bool:
+    """Whether the platform can run the processes backend (POSIX fork)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ProcessExecutor(ThreadedExecutor):
+    """Runs a configured :class:`SaberEngine`'s queries on worker processes.
+
+    Subclasses :class:`ThreadedExecutor` for the parent-side machinery it
+    shares verbatim — the dispatcher loop (single-writer buffer inserts,
+    backpressure, ingest pacing, round-robin across queries) and the
+    locked task claim with its starvation guard — and replaces the worker
+    threads with forked processes fed over multiprocessing queues.
+    """
+
+    def __init__(self, engine: "SaberEngine") -> None:
+        super().__init__(engine)
+        self._query_index = {id(run.query): i for i, run in enumerate(self.runs)}
+        #: descriptors in flight: (query_index, task_id) -> parent task.
+        self._dispatched: "dict[tuple[int, int], QueryTask]" = {}
+
+    # -- run -----------------------------------------------------------------
+
+    def run(self, tasks_per_query: int) -> float:
+        """Execute ``tasks_per_query`` tasks per query; returns elapsed s."""
+        if not fork_available():  # pragma: no cover - POSIX-only CI
+            raise SimulationError(
+                "execution='processes' requires the fork start method "
+                "(POSIX); use execution='threads' on this platform"
+            )
+        self._t0 = time.perf_counter() - self.engine._last_elapsed
+        ctx = multiprocessing.get_context("fork")
+        completions = ctx.Queue()
+        task_queues: "dict[str, Any]" = {}
+        free: "dict[str, int]" = {}
+        worker_counts: "dict[str, int]" = {}
+        if self.config.use_cpu:
+            task_queues[CPU] = ctx.SimpleQueue()
+            worker_counts[CPU] = self.config.cpu_workers
+            free[CPU] = self.config.cpu_workers * _PREFETCH_PER_WORKER
+        if self.config.use_gpu:
+            task_queues[GPU] = ctx.SimpleQueue()
+            worker_counts[GPU] = 1
+            free[GPU] = _PREFETCH_PER_WORKER
+        # Fork before starting the dispatcher thread: children must not
+        # inherit a running thread (or the locks it might hold).
+        workers: "list[Any]" = []
+        for processor, tasks in task_queues.items():
+            for index in range(worker_counts[processor]):
+                worker = ctx.Process(
+                    target=self._worker_main,
+                    args=(processor, tasks, completions),
+                    name=f"saber-{processor.lower()}-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                workers.append(worker)
+        dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            args=(tasks_per_query,),
+            name="saber-dispatcher",
+            daemon=True,
+        )
+        dispatcher.start()
+        try:
+            self._collect(completions, task_queues, free, workers)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            self._fail(exc)
+        finally:
+            dispatcher.join()
+            self._shutdown_workers(workers, task_queues, worker_counts, completions)
+        if self._failure is not None:
+            raise self._failure
+        if self.queue or self._inflight or self._dispatched:
+            raise SimulationError(
+                f"process run ended with {len(self.queue)} queued and "
+                f"{len(self._dispatched)} in-flight tasks"
+            )
+        return self._now()
+
+    # -- parent: feed + collect ----------------------------------------------
+
+    def _collect(self, completions, task_queues, free, workers) -> None:
+        """Main parent loop: feed free workers, drain completions."""
+        while True:
+            with self._cond:
+                if self._failure is not None:
+                    return
+                self._feed(task_queues, free)
+                if self._dispatch_done and not self.queue and not self._inflight:
+                    return
+                if not self._inflight:
+                    # No completion can possibly arrive: wait on the
+                    # condition the dispatcher notifies when it appends,
+                    # so the first task of a run (or after a stall) is
+                    # fed the moment it exists instead of on the next
+                    # poll tick.
+                    self._cond.wait(_WAIT_TIMEOUT)
+                    continue
+            try:
+                message = completions.get(timeout=_WAIT_TIMEOUT)
+            except queue_lib.Empty:
+                self._check_workers(workers)
+                continue
+            self._handle_completion(message, free)
+            while True:  # completions burst; drain without blocking
+                try:
+                    message = completions.get_nowait()
+                except queue_lib.Empty:
+                    break
+                self._handle_completion(message, free)
+
+    def _feed(self, task_queues, free) -> None:
+        """Assign queued tasks to idle worker capacity (caller holds the
+        lock).
+
+        ``Scheduler.select`` runs here, at feed time: with the bounded
+        prefetch (``_PREFETCH_PER_WORKER``) each worker may hold up to
+        two outstanding descriptors, so selection happens up to one task
+        earlier than a worker thread's claim-at-completion would — the
+        price of hiding the completion→feed queue round-trip.
+        """
+        for processor, tasks in task_queues.items():
+            while free[processor] > 0:
+                task = self._claim(processor)
+                if task is None:
+                    break
+                self._inflight += 1
+                free[processor] -= 1
+                key = (self._query_index[id(task.query)], task.task_id)
+                self._dispatched[key] = task
+                tasks.put(self._describe(task))
+
+    def _describe(self, task: QueryTask) -> tuple:
+        """The picklable shape of a task: pointer ranges, not data."""
+        refs = [(ref.start, ref.stop, ref.previous_last_timestamp) for ref in task.batches]
+        return (
+            self._query_index[id(task.query)],
+            task.task_id,
+            refs,
+            task.created_at,
+            task.size_bytes,
+        )
+
+    def _handle_completion(self, message: tuple, free) -> None:
+        """Result stage + HLS feedback for one worker completion."""
+        if message[0] == "error":
+            __, processor, text = message
+            raise SimulationError(f"worker process ({processor}) failed:\n{text}")
+        # ``completed`` is the *worker's* clock reading (same perf_counter
+        # base: _t0 predates the fork), so completion timestamps reflect
+        # when operators actually finished, not when the parent got
+        # around to draining the queue — burst drains would otherwise
+        # clump the records and distort the steady-state throughput.
+        __, processor, query_index, task_id, result, duration, now = message
+        run = self.runs[query_index]
+        task = self._dispatched.pop((query_index, task_id))
+        self.measurements.record_task(
+            TaskRecord(
+                query=task.query.name,
+                processor=processor,
+                created=task.created_at,
+                completed=now,
+                input_bytes=task.size_bytes,
+                input_tuples=task.tuple_count,
+            )
+        )
+        if result is not None:
+            # In-order drain; buffer space is released in task order
+            # inside (on_release advances the shared head pointers).
+            # Emission happens in the parent, so emit (latency) times use
+            # the parent's clock — latency honestly includes the
+            # completion-queue hop the processes backend pays.
+            emitted = run.result_stage.submit(task, result, self._now())
+            for record in emitted:
+                self.measurements.record_latency(record.emit_time, record.data_time)
+        else:
+            self.measurements.record_latency(self._now(), task.created_at)
+        if processor == CPU:
+            tasks_per_second = self.config.cpu_workers / duration
+        else:
+            tasks_per_second = 1.0 / duration
+        self.scheduler.task_finished(task, processor, tasks_per_second, now)
+        with self._cond:
+            run.tasks_completed += 1
+            self._inflight -= 1
+            free[processor] += 1
+            self._cond.notify_all()  # buffer space freed; dispatcher may resume
+
+    def _check_workers(self, workers) -> None:
+        """A worker that died mid-task would hang the run — fail fast."""
+        for worker in workers:
+            if not worker.is_alive() and worker.exitcode not in (0, None):
+                raise SimulationError(
+                    f"worker process {worker.name} died with exit code "
+                    f"{worker.exitcode}"
+                )
+
+    def _shutdown_workers(self, workers, task_queues, worker_counts, completions) -> None:
+        """Sentinel, join, then escalate; always reap every child."""
+        for processor, tasks in task_queues.items():
+            for __ in range(worker_counts[processor]):
+                try:
+                    tasks.put(None)
+                except (OSError, ValueError):  # pragma: no cover - torn pipe
+                    break
+        deadline = time.monotonic() + _JOIN_TIMEOUT
+        for worker in workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
+        for worker in workers:
+            if worker.is_alive():  # pragma: no cover - stuck worker escape
+                worker.terminate()
+                worker.join(timeout=1.0)
+            if worker.is_alive():  # pragma: no cover - last resort
+                worker.kill()
+                worker.join(timeout=1.0)
+        for tasks in task_queues.values():
+            tasks.close()
+        completions.close()
+        completions.join_thread()
+
+    # -- child: worker process --------------------------------------------------
+
+    def _worker_main(self, processor: str, tasks, completions) -> None:
+        """Forked worker: execute descriptors until the ``None`` sentinel.
+
+        Runs with the parent's engine inherited by fork.  Reads task
+        batches as zero-copy views of the shared-memory buffers, executes
+        the batch operator function, and ships the result back.  Failures
+        are reported as messages (the parent raises), never tracebacks on
+        stderr; process exit flushes the completion queue's feeder thread
+        so the final message is never lost, and the error path *also*
+        exits non-zero so a lost pipe still fails the run via the
+        parent's liveness check instead of hanging it.
+        """
+        engine = self.engine
+        try:
+            while True:
+                message = tasks.get()
+                if message is None:
+                    return
+                query_index, task_id, refs, created_at, size_bytes = message
+                run = self.runs[query_index]
+                batches = [
+                    BatchRef(buffer, start, stop, previous_last)
+                    for buffer, (start, stop, previous_last) in zip(run.dispatcher.buffers, refs)
+                ]
+                task = QueryTask(
+                    query=run.query,
+                    task_id=task_id,
+                    batches=batches,
+                    created_at=created_at,
+                    size_bytes=size_bytes,
+                )
+                started = time.perf_counter()
+                slices, __, __, __ = engine._materialise(task, copy=False)
+                result, __, __ = engine._run_operator(task, slices, gpu=processor == GPU)
+                duration = max(time.perf_counter() - started, 1e-9)
+                completions.put(
+                    (
+                        "done",
+                        processor,
+                        query_index,
+                        task_id,
+                        result,
+                        duration,
+                        self._now(),
+                    )
+                )
+        except BaseException:  # noqa: BLE001 - crosses the process boundary
+            try:
+                completions.put(("error", processor, traceback.format_exc()))
+            except (OSError, ValueError):  # pragma: no cover - parent gone
+                pass
+            sys.exit(1)

@@ -77,9 +77,7 @@ class Query:
                 f"for an arity-{self.operator.arity} operator"
             )
         if self.input_rates is not None and len(self.input_rates) != self.operator.arity:
-            raise QueryError(
-                f"query {self.name!r}: input_rates must match operator arity"
-            )
+            raise QueryError(f"query {self.name!r}: input_rates must match operator arity")
         stateless = self.operator.cost_profile().kind in ("projection", "selection")
         if any(w is None for w in self.windows) and not stateless:
             raise QueryError(

@@ -74,17 +74,15 @@ class ResultStage:
         self._buffer: dict[int, _Slot] = {}
         self._next_task = 0
         self._lock = threading.Lock()
-        self._pending: dict[int, Any] = {}       # window id -> merged payload
-        self._closed_flags: set[int] = set()     # windows whose close was seen
+        self._pending: dict[int, Any] = {}  # window id -> merged payload
+        self._closed_flags: set[int] = set()  # windows whose close was seen
         self.emitted: list[EmittedResult] = []
         self.output_rows = 0
         self.output_bytes = 0
 
     # -- stage entry -----------------------------------------------------------
 
-    def submit(
-        self, task: QueryTask, result: BatchResult, now: float
-    ) -> "list[EmittedResult]":
+    def submit(self, task: QueryTask, result: BatchResult, now: float) -> "list[EmittedResult]":
         """Store one task's result; drain every in-order result available."""
         with self._lock:
             if task.task_id in self._buffer or task.task_id < self._next_task:
@@ -92,9 +90,7 @@ class ResultStage:
                     f"duplicate result for task {task.task_id} of {task.query.name!r}"
                 )
             if len(self._buffer) >= self.slots:
-                raise ExecutionError(
-                    "result buffer overflow: increase slots or queue backpressure"
-                )
+                raise ExecutionError("result buffer overflow: increase slots or queue backpressure")
             self._buffer[task.task_id] = _Slot(task, result, now)
             emitted: list[EmittedResult] = []
             while self._next_task in self._buffer:
@@ -116,9 +112,7 @@ class ResultStage:
             for wid in sorted(result.partials):
                 payload = result.partials[wid]
                 if wid in self._pending:
-                    payload = operator.merge_partials(
-                        self._pending.pop(wid), payload
-                    )
+                    payload = operator.merge_partials(self._pending.pop(wid), payload)
                 self._pending[wid] = payload
                 if operator.window_ready(payload):
                     ready.append(wid)
@@ -147,9 +141,7 @@ class ResultStage:
         emitted: list[EmittedResult] = []
         if chunks:
             rows = TupleBatch.concat(chunks) if len(chunks) > 1 else chunks[0]
-            emitted.append(
-                self._emit(rows, task.task_id, now, task.created_at)
-            )
+            emitted.append(self._emit(rows, task.task_id, now, task.created_at))
         if self.on_release is not None:
             self.on_release(task)
         return emitted

@@ -159,11 +159,11 @@ class HlsScheduler(Scheduler):
             raise SchedulingError(f"unknown processor {processor!r}")
         matrix, state, st = self.matrix, self.state, self.switch_threshold
         delay = 0.0
-        for pos, task in enumerate(queue):                       # lines 1-3
-            q = task.query.name                                  # line 4
-            preferred = matrix.preferred(q)                      # line 5
+        for pos, task in enumerate(queue):  # lines 1-3
+            q = task.query.name  # line 4
+            preferred = matrix.preferred(q)  # line 5
             is_preferred = processor == preferred
-            take = False                                         # line 6
+            take = False  # line 6
             if is_preferred and state.count(q, processor) < st:
                 take = True
             elif not is_preferred and (
@@ -172,11 +172,11 @@ class HlsScheduler(Scheduler):
             ):
                 take = True
             if take:
-                if state.count(q, preferred) >= st:              # line 7
+                if state.count(q, preferred) >= st:  # line 7
                     state.reset(q, preferred)
-                state.increment(q, processor)                    # line 8
-                return pos                                       # line 9
-            delay += 1.0 / matrix.value(q, preferred)            # line 10
+                state.increment(q, processor)  # line 8
+                return pos  # line 9
+            delay += 1.0 / matrix.value(q, preferred)  # line 10
         if not queue or self.strict_lookahead:
             return None
         if len(queue) < self.fallback_backlog:
@@ -211,18 +211,14 @@ class StaticScheduler(Scheduler):
     def __init__(self, assignment: "dict[str, str]") -> None:
         for query, processor in assignment.items():
             if processor not in PROCESSORS:
-                raise SchedulingError(
-                    f"static assignment maps {query!r} to unknown {processor!r}"
-                )
+                raise SchedulingError(f"static assignment maps {query!r} to unknown {processor!r}")
         self.assignment = dict(assignment)
 
     def select(self, queue: "list[QueryTask]", processor: str) -> "int | None":
         for pos, task in enumerate(queue):
             assigned = self.assignment.get(task.query.name)
             if assigned is None:
-                raise SchedulingError(
-                    f"no static assignment for query {task.query.name!r}"
-                )
+                raise SchedulingError(f"no static assignment for query {task.query.name!r}")
             if assigned == processor:
                 return pos
         return None

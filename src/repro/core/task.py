@@ -22,7 +22,7 @@ class BatchRef:
     """One input stream's batch within a query task."""
 
     buffer: "CircularTupleBuffer | None"
-    start: int                      # global tuple index (buffer logical pos)
+    start: int  # global tuple index (buffer logical pos)
     stop: int
     previous_last_timestamp: "int | None"  # for time-based window assignment
 
@@ -30,10 +30,14 @@ class BatchRef:
     def tuple_count(self) -> int:
         return self.stop - self.start
 
-    def read(self) -> TupleBatch:
+    def read(self, copy: bool = True) -> TupleBatch:
+        """Materialise the range; ``copy=False`` yields a zero-copy view
+        for contiguous ranges (worker processes read the shared store in
+        place — the range stays retained until their result is processed).
+        """
         if self.buffer is None:
             raise RuntimeError("batch reference carries no data (simulation-only run)")
-        return self.buffer.read(self.start, self.stop)
+        return self.buffer.read(self.start, self.stop, copy=copy)
 
 
 @dataclass

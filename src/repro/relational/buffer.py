@@ -1,4 +1,4 @@
-"""Circular input buffers (§4.1).
+"""Circular input buffers (§4.1) over pluggable backing stores.
 
 SABER keeps one circular byte buffer per input stream and per query.  Only
 the dispatching worker inserts; executing workers have read-only access via
@@ -6,30 +6,164 @@ the dispatching worker inserts; executing workers have read-only access via
 released by moving the buffer's start pointer to a task's *free pointer*
 once that task's results have been processed.
 
-We implement the same pointer discipline over a numpy byte array.  Indices
-are expressed in **tuples** (the schema has a fixed tuple width) and grow
+We implement the same pointer discipline over a numpy array.  Indices are
+expressed in **tuples** (the schema has a fixed tuple width) and grow
 monotonically; physical positions are the index modulo capacity, exactly
 like the paper's identifier-modulo-slots result buffer.
 
+**Backing stores.**  Where the tuple slots (and the head/tail pointers)
+physically live is pluggable:
+
+* ``"local"`` — a process-private numpy array with plain-int pointers:
+  the sim and threads backends, where every reader shares the address
+  space;
+* ``"shared"`` — a :mod:`multiprocessing.shared_memory` segment whose
+  first 16 bytes hold the head/tail pointers as int64s and whose
+  remainder holds the tuple slots.  Worker *processes* forked from the
+  dispatcher inherit the mapping, so inserts made by the dispatcher
+  after the fork are visible to every worker and task reads stay
+  zero-copy views of the one shared segment (the processes backend).
+
 **Concurrency.**  The buffer supports the paper's single-writer regime
-used by the threaded execution backend: one dispatcher thread inserts,
-worker threads read task ranges, and the result stage advances the start
-pointer in task order.  A lock makes head/tail advancement atomic; data
-races cannot occur structurally because inserts only touch free slots
-(beyond ``tail``) while reads only touch retained slots (``[head,
-tail)``), and a task's range is never released before its results were
-processed.
+used by both real execution backends: one dispatcher inserts, workers
+read task ranges, and the result stage advances the start pointer in
+task order.  A lock makes head/tail advancement atomic within the owning
+process; data races cannot occur structurally because inserts only touch
+free slots (beyond ``tail``) while reads only touch retained slots
+(``[head, tail)``), and a task's range is never released before its
+results were processed.  Across processes the pointers are aligned
+8-byte slots written by exactly one side each (the dispatcher owns
+``tail``, the result stage owns ``head``), and a task descriptor only
+reaches a worker *after* its range was inserted, so the queue transfer
+orders the writes.
 """
 
 from __future__ import annotations
 
+import os
+import secrets
 import threading
+from multiprocessing import shared_memory
 
 import numpy as np
 
 from ..errors import BackpressureError, BufferError_
 from .schema import Schema
 from .tuples import TupleBatch
+
+#: bytes reserved at the front of a shared segment for head/tail (2 int64).
+_POINTER_HEADER_BYTES = 16
+
+BACKINGS = ("local", "shared")
+
+
+class LocalStore:
+    """Process-private backing: a numpy array plus plain-int pointers."""
+
+    shared = False
+
+    def __init__(self, dtype: np.dtype, capacity: int) -> None:
+        self.array = np.zeros(capacity, dtype=dtype)
+        self.head = 0
+        self.tail = 0
+
+    def close(self) -> None:
+        """Nothing to release: the array dies with its owner."""
+
+    def __reduce__(self):
+        raise TypeError(
+            "a local buffer store cannot cross process boundaries; "
+            "use backing='shared' for the processes backend"
+        )
+
+
+class SharedMemoryStore:
+    """Shared-memory backing: slots and pointers in one OS segment.
+
+    The segment layout is ``[head int64][tail int64][capacity × tuple]``.
+    Pointer loads/stores are single aligned 8-byte accesses (atomic on
+    every platform CPython runs on), so a forked worker always reads a
+    consistent pointer value; *coordination* (who may write which
+    pointer when) is the buffer's single-writer discipline, not the
+    store's concern.
+
+    The creating process owns the segment: :meth:`close` both unmaps and
+    unlinks it.  Forked children inherit the mapping and never unlink —
+    their copy is torn down with the process.  A finalizer unlinks the
+    segment even when an owner forgets ``close()``, so test processes do
+    not accumulate ``/dev/shm`` garbage (the stress suite asserts this).
+    """
+
+    shared = True
+
+    def __init__(self, dtype: np.dtype, capacity: int) -> None:
+        size = _POINTER_HEADER_BYTES + capacity * dtype.itemsize
+        name = f"saber-{os.getpid()}-{secrets.token_hex(4)}"
+        self._shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        self._owner_pid = os.getpid()
+        self._closed = False
+        self._pointers = np.ndarray(
+            2, dtype=np.int64, buffer=self._shm.buf, offset=0
+        )
+        self._pointers[:] = 0
+        self.array = np.ndarray(
+            capacity, dtype=dtype, buffer=self._shm.buf, offset=_POINTER_HEADER_BYTES
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def head(self) -> int:
+        return int(self._pointers[0])
+
+    @head.setter
+    def head(self, value: int) -> None:
+        self._pointers[0] = value
+
+    @property
+    def tail(self) -> int:
+        return int(self._pointers[1])
+
+    @tail.setter
+    def tail(self, value: int) -> None:
+        self._pointers[1] = value
+
+    def close(self) -> None:
+        """Unmap the segment; the creating process also unlinks it.
+
+        Idempotent.  Must not be called while zero-copy reads of the
+        segment are still alive (the engine only calls it at shutdown,
+        after every run completed).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        # Drop the exported views first: SharedMemory.close() raises
+        # BufferError while numpy still pins the mapping.
+        self._pointers = None
+        self.array = None
+        self._shm.close()
+        if os.getpid() == self._owner_pid:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - exercised at interpreter exit
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _make_store(backing: str, dtype: np.dtype, capacity: int):
+    if backing == "local":
+        return LocalStore(dtype, capacity)
+    if backing == "shared":
+        return SharedMemoryStore(dtype, capacity)
+    raise BufferError_(f"unknown buffer backing {backing!r} (expected {BACKINGS})")
 
 
 class CircularTupleBuffer:
@@ -41,20 +175,29 @@ class CircularTupleBuffer:
     *start pointer*), ``tail`` is one past the newest (*end pointer*).
     """
 
-    def __init__(self, schema: Schema, capacity_tuples: int) -> None:
+    def __init__(
+        self, schema: Schema, capacity_tuples: int, backing: str = "local"
+    ) -> None:
         if capacity_tuples <= 0:
             raise BufferError_("buffer capacity must be positive")
         self.schema = schema
         self.capacity = int(capacity_tuples)
-        self._store = np.zeros(self.capacity, dtype=schema.dtype)
-        self.head = 0  # start pointer (oldest retained tuple)
-        self.tail = 0  # end pointer (next insert position)
+        self.backing = backing
+        self._store = _make_store(backing, schema.dtype, self.capacity)
         self._lock = threading.Lock()
 
     # -- state -------------------------------------------------------------
 
+    @property
+    def head(self) -> int:
+        return self._store.head
+
+    @property
+    def tail(self) -> int:
+        return self._store.tail
+
     def __len__(self) -> int:
-        return self.tail - self.head
+        return self._store.tail - self._store.head
 
     @property
     def free_slots(self) -> int:
@@ -63,6 +206,10 @@ class CircularTupleBuffer:
     @property
     def size_bytes(self) -> int:
         return len(self) * self.schema.tuple_size
+
+    def close(self) -> None:
+        """Release the backing store (unlinks shared segments)."""
+        self._store.close()
 
     # -- producer side -------------------------------------------------------
 
@@ -80,47 +227,56 @@ class CircularTupleBuffer:
                 f"schema {self.schema.name!r}"
             )
         n = len(batch)
+        store = self._store
         with self._lock:
             if n > self.free_slots:
                 raise BackpressureError(
                     f"circular buffer overflow: inserting {n} tuples with only "
                     f"{self.free_slots} free slots (capacity {self.capacity})"
                 )
-            start = self.tail
+            start = store.tail
             first = start % self.capacity
             end = first + n
             # The written region is entirely free (beyond ``tail``), so
             # concurrent readers of retained ranges never observe it.
             if end <= self.capacity:
-                self._store[first:end] = batch.data
+                store.array[first:end] = batch.data
             else:
                 split = self.capacity - first
-                self._store[first:] = batch.data[:split]
-                self._store[: end - self.capacity] = batch.data[split:]
-            self.tail += n
+                store.array[first:] = batch.data[:split]
+                store.array[: end - self.capacity] = batch.data[split:]
+            store.tail = start + n
         return start
 
     # -- consumer side -------------------------------------------------------
 
-    def read(self, start: int, stop: int) -> TupleBatch:
-        """Read-only copy of logical range ``[start, stop)``.
+    def read(self, start: int, stop: int, copy: bool = True) -> TupleBatch:
+        """Read logical range ``[start, stop)``.
 
         The range must lie within the retained region ``[head, tail)``.
+        With ``copy=False`` a contiguous range is returned as a zero-copy
+        view of the backing store — only safe while the range stays
+        retained, which is how worker processes read task batches (their
+        ranges are released strictly after their results are processed).
+        Wrapped ranges always concatenate into a fresh array.
         """
+        store = self._store
         with self._lock:
-            if start < self.head or stop > self.tail or start > stop:
+            if start < store.head or stop > store.tail or start > stop:
                 raise BufferError_(
                     f"read range [{start}, {stop}) outside retained "
-                    f"[{self.head}, {self.tail})"
+                    f"[{store.head}, {store.tail})"
                 )
         n = stop - start
         first = start % self.capacity
         end = first + n
         if end <= self.capacity:
-            data = self._store[first:end].copy()
+            data = store.array[first:end]
+            if copy:
+                data = data.copy()
         else:
             data = np.concatenate(
-                [self._store[first:], self._store[: end - self.capacity]]
+                [store.array[first:], store.array[: end - self.capacity]]
             )
         return TupleBatch(self.schema, data)
 
@@ -131,10 +287,11 @@ class CircularTupleBuffer:
         task's free pointer.  Releasing backwards is a no-op (results can
         finish out of order; only the furthest pointer matters).
         """
+        store = self._store
         with self._lock:
-            if free_pointer > self.tail:
+            if free_pointer > store.tail:
                 raise BufferError_(
-                    f"cannot release past end pointer ({free_pointer} > {self.tail})"
+                    f"cannot release past end pointer ({free_pointer} > {store.tail})"
                 )
-            if free_pointer > self.head:
-                self.head = free_pointer
+            if free_pointer > store.head:
+                store.head = free_pointer

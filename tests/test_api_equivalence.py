@@ -11,6 +11,8 @@ The legacy constructions below are copied verbatim from the pre-refactor
 they are the oracle.
 """
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -37,6 +39,12 @@ from repro.workloads.smartgrid import (
 
 SEED = 7
 TASKS = 10
+#: the processes leg runs a smaller budget, drained: small-slide grouped
+#: windows (SG2/LRB3) ship per-window partial state across the process
+#: boundary, so 10 undrained tasks would spend minutes pickling — the
+#: drain flushes the tail windows and keeps every query's output
+#: non-empty at 4 tasks while exercising the same cross-task assembly.
+PROCESS_TASKS = 4
 
 
 def _lrb_projection_columns():
@@ -158,21 +166,25 @@ def fresh_sources(name):
     return sources
 
 
-def run_legacy(name):
+def run_legacy(name, tasks=TASKS, drain=False):
     """The pre-refactor path: raw engine + hand-constructed operators."""
     engine = SaberEngine(SaberConfig(**_config("sim")))
     query = LEGACY_QUERIES[name]()
     engine.add_query(query, fresh_sources(name))
-    report = engine.run(tasks_per_query=TASKS)
+    report = engine.run(tasks_per_query=tasks)
+    if drain:
+        report = engine.drain()
     return report.outputs[name]
 
 
-def run_api(name, execution):
+def run_api(name, execution, tasks=TASKS, drain=False):
     """The public path: Stream-built workload query via SaberSession."""
     query, sources = build(name, seed=SEED, tuples_per_second=SMOKE_RATES[name])
     with SaberSession(SaberConfig(**_config(execution))) as session:
         handle = session.submit(query, sources=sources)
-        session.run(tasks_per_query=TASKS)
+        session.run(tasks_per_query=tasks)
+        if drain:
+            session.stop(drain=True)
         return handle.output()
 
 
@@ -194,4 +206,19 @@ def test_api_reproduces_legacy_results_on_both_backends(name):
     assert_identical(legacy, via_api_threads)
     # The smoke rates are tuned so windows actually close within the run:
     # an accidentally-empty comparison would prove nothing.
+    assert legacy is not None and len(legacy) > 0
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="processes backend needs POSIX fork",
+)
+@pytest.mark.parametrize("name", APPLICATION_QUERIES)
+def test_api_reproduces_legacy_results_on_processes(name):
+    """Forked workers over shared-memory buffers ≡ the sim oracle,
+    drained, on every Table-1 application query (see PROCESS_TASKS)."""
+    legacy = run_legacy(name, tasks=PROCESS_TASKS, drain=True)
+    via_processes = run_api(name, "processes", tasks=PROCESS_TASKS, drain=True)
+    assert_identical(legacy, via_processes)
+    # An accidentally-empty comparison would prove nothing.
     assert legacy is not None and len(legacy) > 0

@@ -1,0 +1,155 @@
+"""Shared-memory backing store for the circular input buffers.
+
+The processes backend re-homes the buffers onto
+``multiprocessing.shared_memory``: the head/tail pointers live in the
+segment header and the tuple slots in its body, so a forked worker sees
+inserts the dispatcher makes *after* the fork — the property these tests
+pin, alongside lifecycle (close unlinks exactly once, owner-only) and
+semantic equivalence with the local backing.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import BufferError_
+from repro.relational.buffer import CircularTupleBuffer, SharedMemoryStore
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shared buffers are exercised via POSIX fork",
+)
+
+SCHEMA = Schema.parse("timestamp:long, value:int", name="S")
+
+
+def batch(start, count):
+    return TupleBatch.from_columns(
+        SCHEMA,
+        timestamp=np.arange(start, start + count, dtype=np.int64),
+        value=np.arange(start, start + count, dtype=np.int32) * 2,
+    )
+
+
+def shm_exists(store: SharedMemoryStore) -> bool:
+    return os.path.exists(f"/dev/shm/{store.name}")
+
+
+def test_unknown_backing_rejected():
+    with pytest.raises(BufferError_, match="unknown buffer backing"):
+        CircularTupleBuffer(SCHEMA, 16, backing="gpu")
+
+
+def test_shared_matches_local_semantics():
+    """Insert/read/release behave identically over both backings."""
+    local = CircularTupleBuffer(SCHEMA, 10, backing="local")
+    shared = CircularTupleBuffer(SCHEMA, 10, backing="shared")
+    try:
+        for buffer in (local, shared):
+            assert buffer.insert(batch(0, 6)) == 0
+            buffer.release(4)
+            assert buffer.insert(batch(6, 7)) == 6  # wraps physically
+            assert buffer.head == 4 and buffer.tail == 13
+        left = local.read(4, 13)
+        right = shared.read(4, 13)
+        assert left.data.tobytes() == right.data.tobytes()
+    finally:
+        shared.close()
+
+
+def test_zero_copy_read_views_the_segment():
+    buffer = CircularTupleBuffer(SCHEMA, 16, backing="shared")
+    try:
+        buffer.insert(batch(0, 8))
+        view = buffer.read(2, 6, copy=False)
+        copied = buffer.read(2, 6)
+        assert np.array_equal(view.data, copied.data)
+        assert view.data.base is not None  # a view, not an allocation
+        # Wrapped ranges cannot be contiguous: they concatenate.
+        buffer.release(8)
+        buffer.insert(batch(8, 12))
+        wrapped = buffer.read(14, 20, copy=False)
+        assert np.array_equal(
+            wrapped.column("timestamp"), np.arange(14, 20, dtype=np.int64)
+        )
+    finally:
+        buffer.close()
+
+
+def test_close_unlinks_once_and_is_idempotent():
+    buffer = CircularTupleBuffer(SCHEMA, 16, backing="shared")
+    store = buffer._store
+    assert shm_exists(store)
+    buffer.close()
+    assert not shm_exists(store)
+    buffer.close()  # second close must not raise
+
+
+def test_finalizer_unlinks_forgotten_segments():
+    store = SharedMemoryStore(SCHEMA.dtype, 16)
+    name = store.name
+    assert os.path.exists(f"/dev/shm/{name}")
+    del store
+    assert not os.path.exists(f"/dev/shm/{name}")
+
+
+def test_post_fork_inserts_visible_to_child():
+    """The load-bearing property: a child forked *before* data arrived
+    reads ranges the parent inserted afterwards, via the shared pointers
+    and slots (a private numpy array would stay frozen at fork time)."""
+    buffer = CircularTupleBuffer(SCHEMA, 64, backing="shared")
+    try:
+        ctx = multiprocessing.get_context("fork")
+        ready = ctx.Event()
+        done = ctx.Queue()
+
+        def child():
+            ready.wait(timeout=10)
+            data = buffer.read(0, 5, copy=False)
+            done.put(
+                (int(buffer.head), int(buffer.tail), data.data.tobytes())
+            )
+
+        worker = ctx.Process(target=child, daemon=True)
+        worker.start()
+        buffer.insert(batch(0, 5))  # after the fork
+        ready.set()
+        head, tail, raw = done.get(timeout=10)
+        worker.join(timeout=10)
+        assert (head, tail) == (0, 5)
+        assert raw == buffer.read(0, 5).data.tobytes()
+    finally:
+        buffer.close()
+
+
+def test_release_in_parent_unblocks_capacity_seen_by_child():
+    """Head advancement crosses the process boundary too."""
+    buffer = CircularTupleBuffer(SCHEMA, 8, backing="shared")
+    try:
+        ctx = multiprocessing.get_context("fork")
+        done = ctx.Queue()
+        buffer.insert(batch(0, 8))
+        buffer.release(6)
+
+        def child():
+            done.put((int(buffer.head), int(buffer.free_slots)))
+
+        worker = ctx.Process(target=child, daemon=True)
+        worker.start()
+        head, free = done.get(timeout=10)
+        worker.join(timeout=10)
+        assert head == 6 and free == 6
+    finally:
+        buffer.close()
+
+
+def test_local_store_refuses_to_cross_process_boundaries():
+    import pickle
+
+    buffer = CircularTupleBuffer(SCHEMA, 8, backing="local")
+    with pytest.raises(TypeError, match="cannot cross process boundaries"):
+        pickle.dumps(buffer._store)

@@ -9,6 +9,7 @@
   legacy objects and the :class:`~repro.io.PullAdapter` shim.
 """
 
+import multiprocessing
 import threading
 import time
 
@@ -31,7 +32,17 @@ TUPLES_PER_TASK = TASK_BYTES // TASK_EVENTS_SCHEMA.tuple_size
 TASKS = 8
 TOTAL_TUPLES = TASKS * TUPLES_PER_TASK
 
-BACKENDS = ("sim", "threads")
+BACKENDS = (
+    "sim",
+    "threads",
+    pytest.param(
+        "processes",
+        marks=pytest.mark.skipif(
+            "fork" not in multiprocessing.get_all_start_methods(),
+            reason="processes backend needs POSIX fork",
+        ),
+    ),
+)
 
 
 def config(execution):

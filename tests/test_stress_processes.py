@@ -1,0 +1,96 @@
+"""Seeded stress for the processes backend (marked ``slow``).
+
+Runs a short CPU-bound workload on the processes backend ~20 times with
+deliberately hostile settings (several workers, tiny queue, buffers that
+must wrap) and checks, every iteration, that
+
+* the run neither crashes nor hangs (each iteration is bounded work; the
+  dedicated CI job adds a hard ``timeout-minutes``),
+* outputs stay byte-identical to the sim oracle computed once up front,
+* no worker process and no shared-memory segment leaks — ``/dev/shm`` is
+  snapshotted around every iteration, and the whole module asserts no
+  ``multiprocessing.resource_tracker`` leak warnings surface at exit
+  (a leaked segment would be reported there).
+
+Deselected from the default run (``-m "not slow"`` via addopts); the CI
+``stress`` job runs ``pytest -m slow``.
+"""
+
+import multiprocessing
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import SaberSession
+from repro.core.engine import SaberConfig
+from repro.workloads.synthetic import (
+    TUPLE_SIZE,
+    SyntheticSource,
+    groupby_query,
+)
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="processes backend needs POSIX fork",
+    ),
+]
+
+ITERATIONS = 20
+SEED = 1234
+TASK_TUPLES = 128
+TASKS = 24
+
+
+def shm_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return set()
+    return {name for name in os.listdir("/dev/shm") if name.startswith("saber-")}
+
+
+def run_once(execution, cpu_workers, queue_capacity):
+    cfg = SaberConfig(
+        execution=execution,
+        task_size_bytes=TASK_TUPLES * TUPLE_SIZE,
+        cpu_workers=cpu_workers,
+        queue_capacity=queue_capacity,
+        buffer_capacity_tasks=8,  # forces wraparound + backpressure
+        collect_output=True,
+    )
+    with SaberSession(cfg) as session:
+        handle = session.submit(
+            groupby_query(8, functions=["cnt", "sum"], name="stress"),
+            sources=[SyntheticSource(seed=SEED, groups=8)],
+        )
+        session.run(tasks_per_query=TASKS)
+        output = handle.output()
+    assert output is not None
+    return output
+
+
+def test_processes_backend_stress_is_stable_and_leak_free():
+    oracle = run_once("sim", cpu_workers=4, queue_capacity=4)
+    before = shm_segments()
+    with warnings.catch_warnings():
+        # A leaked segment the resource tracker has to clean up, or any
+        # multiprocessing lifecycle complaint, fails the test rather
+        # than scrolling by.
+        warnings.simplefilter("error", UserWarning)
+        for iteration in range(ITERATIONS):
+            # Vary the interleaving, not the data: worker count and
+            # queue depth cycle while the seed stays fixed.
+            workers = 2 + (iteration % 3)
+            depth = 2 + (iteration % 4)
+            output = run_once("processes", workers, depth)
+            assert len(output) == len(oracle), f"iteration {iteration}"
+            assert np.array_equal(output.data, oracle.data), (
+                f"iteration {iteration} diverged from the sim oracle"
+            )
+            leaked = shm_segments() - before
+            assert not leaked, (
+                f"iteration {iteration} leaked shared memory: {sorted(leaked)}"
+            )
+    assert multiprocessing.active_children() == []

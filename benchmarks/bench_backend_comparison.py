@@ -1,25 +1,34 @@
-"""Backend comparison matrix: sim vs threads vs processes.
+"""Backend comparison matrix: sim vs threads vs processes, fused vs not.
 
 Runs the Fig. 8-style synthetic workload — PROJ4, SELECT16, AGG*,
 GROUP-BY8 and JOIN1 — on *real data* through every execution backend and
 records a throughput/latency/equivalence entry per (query, backend) pair
-in ``BENCH_PR4.json``.  The sim backend reports the calibrated virtual
+in ``BENCH_PR5.json``.  The sim backend reports the calibrated virtual
 throughput of the paper's server; the threads and processes backends
-report the real wall-clock throughput of this machine's execution — the
-threads backend serialises Python-level operator work behind the GIL,
-the processes backend runs it on forked workers over shared-memory
-buffers, so on a multi-core machine the CPU-bound queries (AGG*,
-GROUP-BY8) are where processes pulls ahead.  Absolute wall-clock numbers
-are machine-dependent; what is comparable across commits is each
-backend against its own history, which is what the CI smoke job
-accumulates and ``check_regression.py`` gates.
+report the real wall-clock throughput of this machine's execution.
+Absolute wall-clock numbers are machine-dependent; what is comparable
+across commits is each backend against its own history, which is what
+the CI smoke job accumulates and ``check_regression.py`` gates.
+
+Two axes beyond PR 4's matrix:
+
+* **fusion on/off** — the operator-chain queries (``SEL-PROJ4``: σ∘π,
+  ``SPA``: σ∘π∘α) run twice, under ``SaberConfig(fusion="auto")`` and
+  ``fusion="off"``.  Outputs must be bitwise-identical; the fused legs
+  run CPU-only so the deterministic sim throughput prices the fused
+  kernel itself (one pass, no intermediate materialisation) rather than
+  the GPGPU data path.  The sim-backend fused/unfused ratio is recorded
+  per chain query in ``fusion_sim_speedup``.
+* **slide-1 grouped windows** (``GROUP-BY8-S1``) — the PR 4
+  result-serialisation-tax regression leg: grouped partials cross the
+  processes backend's completion queue for thousands of open windows
+  per task, which the columnar payloads keep cheap.  Compare the
+  threads and processes wall-clock entries of this leg on a multi-core
+  machine to confirm the tax stays gone.
 
 Equivalence is checked on the way: per query, every backend's output
-must match the sim backend's.  Today every operator matches bitwise (the
-GPGPU kernels are defined to produce identical rows); float aggregation
-is compared to a tolerance anyway so a future GPGPU reduction kernel
-with a different float order degrades this check gracefully instead of
-failing the benchmark.
+must match the sim backend's, and each chain query's unfused output
+must match its fused twin bitwise on every backend.
 
 Usage::
 
@@ -46,6 +55,7 @@ import numpy as np
 from repro.api import SaberSession
 from repro.core.engine import Report, SaberConfig
 from repro.core.executor_mp import fork_available
+from repro.windows.definition import WindowDefinition
 from repro.workloads.synthetic import (
     TUPLE_SIZE,
     SyntheticSource,
@@ -53,38 +63,107 @@ from repro.workloads.synthetic import (
     groupby_query,
     join_query,
     proj_query,
+    select_project_query,
     select_query,
+    spa_query,
 )
 
 BACKENDS = ("sim", "threads", "processes")
 
-#: (label, query factory, source seeds, float-tolerant comparison) —
-#: aggregation over floats tolerates GPGPU reduction-tree reordering.
+#: workload axis: ``fusion`` pins the engine's fusion mode for the
+#: entry (default "auto"); ``cpu_only`` runs without the GPGPU worker
+#: so the sim model prices the CPU kernel; ``fused_twin`` names the
+#: fusion="auto" entry whose outputs this unfused leg must match
+#: bitwise; ``tolerant`` loosens the float comparison for GPGPU
+#: reduction-tree reordering (never used for fusion twins).
 WORKLOAD = [
-    ("PROJ4", lambda: proj_query(4), (31,), True),
-    ("SELECT16", lambda: select_query(16, pass_rate=0.5), (32,), False),
-    ("AGG*", lambda: agg_query(["avg", "sum", "min", "max", "count"],
-                               name="AGGstar"), (33,), True),
-    ("GROUP-BY8", lambda: groupby_query(8, functions=["cnt", "sum"]), (34,), True),
-    ("JOIN1", lambda: join_query(1), (35, 36), False),
+    {"label": "PROJ4", "make": lambda: proj_query(4), "seeds": (31,), "tolerant": True},
+    {
+        "label": "SELECT16",
+        "make": lambda: select_query(16, pass_rate=0.5),
+        "seeds": (32,),
+        "tolerant": False,
+    },
+    {
+        "label": "AGG*",
+        "make": lambda: agg_query(["avg", "sum", "min", "max", "count"], name="AGGstar"),
+        "seeds": (33,),
+        "tolerant": True,
+    },
+    {
+        "label": "GROUP-BY8",
+        "make": lambda: groupby_query(8, functions=["cnt", "sum"]),
+        "seeds": (34,),
+        "tolerant": True,
+    },
+    {"label": "JOIN1", "make": lambda: join_query(1), "seeds": (35, 36), "tolerant": False},
+    # -- fusion axis: operator chains, fused vs unfused -----------------
+    {
+        "label": "SEL-PROJ4",
+        "make": lambda: select_project_query(4, pass_rate=0.5),
+        "seeds": (37,),
+        "tolerant": False,
+        "fusion": "auto",
+        "cpu_only": True,
+    },
+    {
+        "label": "SEL-PROJ4-nofuse",
+        "make": lambda: select_project_query(4, pass_rate=0.5),
+        "seeds": (37,),
+        "tolerant": False,
+        "fusion": "off",
+        "cpu_only": True,
+        "fused_twin": "SEL-PROJ4",
+    },
+    {
+        "label": "SPA",
+        "make": lambda: spa_query(["sum", "max"], pass_rate=0.5, name="SPA"),
+        "seeds": (38,),
+        "tolerant": False,
+        "fusion": "auto",
+        "cpu_only": True,
+    },
+    {
+        "label": "SPA-nofuse",
+        "make": lambda: spa_query(["sum", "max"], pass_rate=0.5, name="SPA"),
+        "seeds": (38,),
+        "tolerant": False,
+        "fusion": "off",
+        "cpu_only": True,
+        "fused_twin": "SPA",
+    },
+    # -- slide-1 grouped windows: serialization-tax regression leg ------
+    {
+        "label": "GROUP-BY8-S1",
+        "make": lambda: groupby_query(
+            8,
+            functions=["cnt", "sum"],
+            window=WindowDefinition.rows(256, 1),
+            name="GROUP-BY8-S1",
+        ),
+        "seeds": (39,),
+        "tolerant": True,
+    },
 ]
 
 
-def run_backend(execution, make_query, seeds, tasks, task_tuples, workers):
+def run_backend(execution, entry, tasks, task_tuples, workers):
     """One session run; returns the report, the output batch and wall time."""
     session = SaberSession(
         SaberConfig(
             execution=execution,
             task_size_bytes=task_tuples * TUPLE_SIZE,
             cpu_workers=workers,
+            use_gpu=not entry.get("cpu_only", False),
             queue_capacity=16,
             collect_output=True,
+            fusion=entry.get("fusion", "auto"),
         )
     )
     with session:
-        query = make_query()
+        query = entry["make"]()
         handle = session.submit(
-            query, sources=[SyntheticSource(seed=s, groups=8) for s in seeds]
+            query, sources=[SyntheticSource(seed=s, groups=8) for s in entry["seeds"]]
         )
         started = time.perf_counter()
         report = session.run(tasks_per_query=tasks)
@@ -108,11 +187,12 @@ def outputs_equal(a, b, tolerant):
     return True
 
 
-def summarise(report: Report, wall: float) -> dict:
+def summarise(report: Report, wall: float, tasks: int) -> dict:
     shares = report.processor_share()
     return {
         "throughput_bytes_per_s": report.throughput_bytes,
         "throughput_tuples_per_s": report.throughput_tuples,
+        "tasks_per_second": tasks / report.elapsed_seconds if report.elapsed_seconds else 0.0,
         "latency_mean_s": report.latency_mean,
         "elapsed_s": report.elapsed_seconds,
         "wall_clock_s": wall,
@@ -138,7 +218,7 @@ def main(argv=None) -> int:
                         help="backends to run (sim is required: it is the "
                              "equivalence oracle)")
     parser.add_argument("--output", type=Path,
-                        default=_ROOT / "BENCH_PR4.json")
+                        default=_ROOT / "BENCH_PR5.json")
     args = parser.parse_args(argv)
 
     for name in ("tasks", "task_tuples", "workers"):
@@ -161,35 +241,65 @@ def main(argv=None) -> int:
 
     results = []
     mismatches = []
-    for label, make_query, seeds, tolerant in WORKLOAD:
+    outputs_by_label: dict[str, dict] = {}
+    sim_throughput: dict[str, float] = {}
+    for entry in WORKLOAD:
+        label = entry["label"]
         outputs = {}
         for backend in backends:
             report, output, wall, query_name = run_backend(
-                backend, make_query, seeds, tasks, task_tuples, workers
+                backend, entry, tasks, task_tuples, workers
             )
             outputs[backend] = output
-            entry = {"query": label, "backend": backend}
-            entry.update(summarise(report, wall))
-            entry["output_rows"] = report.output_rows[query_name]
-            results.append(entry)
+            row = {"query": label, "backend": backend,
+                   "fusion": entry.get("fusion", "auto")}
+            row.update(summarise(report, wall, tasks))
+            row["output_rows"] = report.output_rows[query_name]
+            results.append(row)
+            if backend == "sim":
+                sim_throughput[label] = row["throughput_bytes_per_s"]
             print(
-                f"{label:>10} [{backend:>9}] "
-                f"tput={entry['throughput_bytes_per_s'] / 1e6:9.1f} MB/s  "
-                f"latency={entry['latency_mean_s'] * 1e3:7.3f} ms  "
+                f"{label:>16} [{backend:>9}] "
+                f"tput={row['throughput_bytes_per_s'] / 1e6:9.1f} MB/s  "
+                f"latency={row['latency_mean_s'] * 1e3:7.3f} ms  "
                 f"wall={wall:6.2f} s"
             )
+        outputs_by_label[label] = outputs
         for backend in backends:
             if backend == "sim":
                 continue
-            if not outputs_equal(outputs["sim"], outputs[backend], tolerant):
+            if not outputs_equal(outputs["sim"], outputs[backend], entry["tolerant"]):
                 mismatches.append(f"{label}:{backend}")
-                print(f"{label:>10} outputs MISMATCH (sim vs {backend})")
+                print(f"{label:>16} outputs MISMATCH (sim vs {backend})")
         if not any(m.startswith(f"{label}:") for m in mismatches):
-            print(f"{label:>10} outputs match across {len(backends)} backends")
+            print(f"{label:>16} outputs match across {len(backends)} backends")
+
+    # Fusion must never change a single output bit, on any backend.
+    fusion_speedup = {}
+    for entry in WORKLOAD:
+        twin = entry.get("fused_twin")
+        if twin is None:
+            continue
+        label = entry["label"]
+        for backend in backends:
+            if not outputs_equal(
+                outputs_by_label[twin][backend],
+                outputs_by_label[label][backend],
+                tolerant=False,
+            ):
+                mismatches.append(f"{twin}:fused-vs-{label}:{backend}")
+                print(f"{twin:>16} fused output DIVERGES from {label} on {backend}")
+        if sim_throughput.get(label):
+            fusion_speedup[twin] = sim_throughput[twin] / sim_throughput[label]
+            print(
+                f"{twin:>16} sim fused/unfused speedup: "
+                f"{fusion_speedup[twin]:.2f}x"
+            )
 
     record = {
         "benchmark": "bench_backend_comparison",
-        "paper_figure": "Fig. 8 (synthetic queries), all execution backends",
+        "paper_figure": "Fig. 8 (synthetic queries), all execution backends, "
+                        "fusion on/off axis",
         "smoke": bool(args.smoke),
         "config": {
             "tasks_per_query": tasks,
@@ -205,6 +315,11 @@ def main(argv=None) -> int:
         },
         "outputs_equivalent": not mismatches,
         "mismatched_queries": mismatches,
+        #: deterministic sim-backend throughput ratio, fused over
+        #: unfused, per chain query (the fusion win, priced by the
+        #: calibrated CPU model; meaningful in full runs where the
+        #: workload is CPU-bound rather than dispatcher-bound).
+        "fusion_sim_speedup": fusion_speedup,
         "results": results,
     }
     args.output.write_text(json.dumps(record, indent=2) + "\n")

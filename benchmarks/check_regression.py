@@ -1,6 +1,6 @@
 """CI perf-regression gate over the backend-comparison smoke record.
 
-Compares the smoke-run ``BENCH_PR4.json`` produced by
+Compares the smoke-run ``BENCH_PR5.json`` produced by
 ``bench_backend_comparison.py --smoke`` against the committed baseline
 (``benchmarks/baseline_smoke.json``) and exits non-zero on regression:
 
@@ -15,6 +15,17 @@ Compares the smoke-run ``BENCH_PR4.json`` produced by
   across CI runners; they are gated only under ``--gate-wall-clock``
   (useful when comparing runs of the same machine) — their equivalence
   and row counts are always gated.
+
+Wall-clock gating is additionally meaningful only when both machines
+actually *had* the cores the run pins (``--workers 4``): a baseline
+recorded on a ``cpu_count=1`` container, or a host with fewer cores
+than the pinned worker count, serialises the "parallel" backends behind
+the scheduler and makes cross-backend throughput comparisons noise.
+The baseline therefore records the recording machine's ``cpu_count``,
+and wall-clock throughput assertions are skipped (with a logged notice)
+whenever either side's cores fall below the pinned workers — the gate
+can neither false-fail on a small runner nor silently bless a
+meaningless comparison.
 
 A config drift between baseline and record (task sizes, worker counts)
 fails loudly instead of comparing apples to oranges; regenerate the
@@ -35,7 +46,7 @@ from pathlib import Path
 
 _ROOT = Path(__file__).resolve().parent.parent
 
-DEFAULT_CURRENT = _ROOT / "BENCH_PR4.json"
+DEFAULT_CURRENT = _ROOT / "BENCH_PR5.json"
 DEFAULT_BASELINE = _ROOT / "benchmarks" / "baseline_smoke.json"
 
 #: config keys that make throughput/row counts comparable at all —
@@ -63,6 +74,10 @@ def build_baseline(record: dict) -> dict:
     return {
         "source": "bench_backend_comparison --smoke",
         "config": {k: record["config"][k] for k in _CONFIG_KEYS},
+        # cpu_count of the recording machine: wall-clock gating is only
+        # meaningful when both sides could actually run the pinned
+        # workers in parallel (see module docstring).
+        "machine": {"cpu_count": record.get("machine", {}).get("cpu_count")},
         "entries": entries,
     }
 
@@ -85,6 +100,23 @@ def check(record: dict, baseline: dict, tolerance: float,
             )
     if failures:
         return failures  # row/throughput comparisons would be noise
+    if gate_wall_clock:
+        pinned = record["config"].get("cpu_workers") or 0
+        host_cores = record.get("machine", {}).get("cpu_count")
+        base_cores = baseline.get("machine", {}).get("cpu_count")
+        starved = [
+            f"{label} cpu_count={cores}"
+            for label, cores in (("host", host_cores), ("baseline", base_cores))
+            if cores is None or cores < pinned
+        ]
+        if starved:
+            print(
+                "notice: skipping wall-clock (threads/processes) throughput "
+                f"assertions — {', '.join(starved)} is below the pinned "
+                f"--workers {pinned}, so cross-backend throughput is not "
+                "comparable (equivalence and row counts are still gated)"
+            )
+            gate_wall_clock = False
     current = entries_by_key(record)
     for name, expected in sorted(baseline["entries"].items()):
         query, backend = name.rsplit("/", 1)
@@ -122,7 +154,7 @@ def check(record: dict, baseline: dict, tolerance: float,
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
-                        help="smoke record to gate (default: BENCH_PR4.json)")
+                        help="smoke record to gate (default: BENCH_PR5.json)")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.30,
                         help="relative throughput tolerance (default 0.30)")

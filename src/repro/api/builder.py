@@ -25,9 +25,15 @@ plan shape                                compiled operator
                                           ``FilteredWindows`` under ``where``)
 ``select(...).distinct()``                ``DistinctProjection`` (idem)
 ``aggregate(...)``                        ``Aggregation`` (idem)
+``select(...).aggregate(...)``            ``ProjectedWindows`` — aggregates
+                                          over the *projected* columns (idem)
 ``group_by(keys..., aggs...)``            ``GroupedAggregation`` (idem)
 ``a.join(b, on=...)``                     ``ThetaJoin``
 ========================================  =====================================
+
+Compose chains (``FilteredWindows`` / ``ProjectedWindows``) are compiled
+further into one single-pass kernel by the engine's query-fusion layer
+(:mod:`repro.core.fusion`) unless ``SaberConfig(fusion="off")``.
 
 Validation that the old ad-hoc ``Query`` wiring deferred to run time —
 unknown columns, HAVING without GROUP BY, missing windows, window/arity
@@ -44,7 +50,7 @@ from ..errors import BuilderError
 from ..operators.aggregate_functions import AggregateSpec
 from ..operators.aggregation import Aggregation
 from ..operators.base import Operator
-from ..operators.compose import FilteredWindows
+from ..operators.compose import FilteredWindows, ProjectedWindows
 from ..operators.distinct import DistinctProjection
 from ..operators.groupby import GroupedAggregation
 from ..operators.join import ThetaJoin
@@ -332,7 +338,14 @@ class Stream:
         )
 
     def aggregate(self, *specs: AggregateSpec) -> "Stream":
-        """α: window aggregates without grouping (``agg.*`` specs)."""
+        """α: window aggregates without grouping (``agg.*`` specs).
+
+        With ``select(...)`` expressions in the plan, aggregates may
+        reference the *projected* column names (the plan compiles to a
+        π∘α :class:`ProjectedWindows` chain); otherwise they reference
+        the input schema.
+        """
+        selected = {name for name, __, __ in self._select}
         for spec in specs:
             if not isinstance(spec, AggregateSpec):
                 raise BuilderError(
@@ -343,6 +356,7 @@ class Stream:
                     f"aggregate {spec.function}({spec.column})",
                     {spec.column},
                     self.schema,
+                    extra=selected,
                 )
         if not specs:
             raise BuilderError("aggregate() needs at least one agg.* spec")
@@ -424,12 +438,21 @@ class Stream:
         if self._aggregates:
             if self._distinct:
                 raise BuilderError("distinct() cannot be combined with aggregates")
+            computed = [
+                name
+                for name, __, __ in self._select
+                if name != "timestamp" and name not in self._group_keys
+            ]
+            if computed and not self._group_keys:
+                # π∘α: aggregates run over the projected columns.
+                return self._compile_projected_aggregation(schema)
             for name, expr, __ in self._select:
                 if name != "timestamp" and name not in self._group_keys:
                     raise BuilderError(
                         f"select item {name!r} is neither 'timestamp' nor a "
-                        "group_by key; aggregated queries emit timestamp, "
-                        "keys and aggregates only"
+                        "group_by key; grouped queries emit timestamp, "
+                        "keys and aggregates only (use derived keys for "
+                        "computed grouping columns)"
                     )
             if self._group_keys:
                 inner: Operator = GroupedAggregation(
@@ -478,6 +501,35 @@ class Stream:
         raise BuilderError(
             "empty plan: add where()/select()/aggregate()/group_by()/join()"
         )
+
+    def _compile_projected_aggregation(self, schema: Schema) -> Operator:
+        """``select(expressions...).aggregate(...)`` → π∘α chain.
+
+        The aggregates consume the *projected* columns; ``timestamp`` is
+        carried through automatically (windowed aggregation needs the
+        time column) unless the select list already produces one.
+        """
+        items = list(self._select)
+        if not any(name == "timestamp" for name, __, __ in items):
+            items.insert(0, ("timestamp", col("timestamp"), None))
+        types = {name: t for name, __, t in items if t is not None}
+        projection = Projection(
+            schema,
+            [(name, expr) for name, expr, __ in items],
+            output_types=types or None,
+        )
+        projected = projection.output_schema
+        for spec in self._aggregates:
+            if spec.column is not None and spec.column not in projected:
+                raise BuilderError(
+                    f"aggregate {spec.function}({spec.column}) references a "
+                    "column the select() list does not produce; projected "
+                    f"columns are {sorted(projected.attribute_names)}"
+                )
+        inner: Operator = ProjectedWindows(
+            projection, Aggregation(projected, list(self._aggregates))
+        )
+        return FilteredWindows(self._where, inner) if self._where else inner
 
     def _is_identity_select(self, schema: Schema) -> bool:
         """Whole-tuple select: compile to σ instead of σ∘π."""

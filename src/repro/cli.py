@@ -77,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="execution backend: virtual-time simulation, real threads, "
              "or forked worker processes (shared memory, POSIX only)",
     )
+    run.add_argument(
+        "--fusion", choices=["auto", "off"], default="auto",
+        help="query fusion: compile eligible operator chains into one "
+             "single-pass kernel (auto) or run the unfused chain (off)",
+    )
     run.add_argument("--seed", type=int, default=1, help="workload seed")
     run.add_argument(
         "--rate", type=int, default=256,
@@ -123,6 +128,11 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--backpressure", choices=["block", "error", "drop_oldest"],
         default="block", help="policy when the input buffers fill",
+    )
+    replay.add_argument(
+        "--fusion", choices=["auto", "off"], default="auto",
+        help="query fusion: fused single-pass kernels (auto) or the "
+             "unfused operator chain (off)",
     )
     replay.add_argument(
         "--show-rows", type=int, default=5, help="result rows to print"
@@ -172,6 +182,7 @@ def _command_run(args: argparse.Namespace) -> int:
         use_gpu=not args.no_gpu,
         scheduler=args.scheduler,
         execution=args.execution,
+        fusion=args.fusion,
     )
     with SaberSession(config) as session:
         if args.cql:
@@ -212,6 +223,7 @@ def _command_replay(args: argparse.Namespace) -> int:
         use_gpu=not args.no_gpu,
         execution=args.execution,
         backpressure=args.backpressure,
+        fusion=args.fusion,
         collect_output=True,
     )
     sink = FileSink(args.sink) if args.sink else None

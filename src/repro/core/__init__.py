@@ -16,6 +16,7 @@ from .scheduler import (
 )
 from .result_stage import EmittedResult, ResultStage
 from .engine import Report, SaberConfig, SaberEngine
+from .fusion import FusedKernel, fuse_operator, fusion_eligible
 from .cql import compile_statement, parse_cql
 
 __all__ = [
@@ -40,6 +41,9 @@ __all__ = [
     "SaberConfig",
     "SaberEngine",
     "Report",
+    "FusedKernel",
+    "fuse_operator",
+    "fusion_eligible",
     "compile_statement",
     "parse_cql",
 ]

@@ -53,6 +53,7 @@ from ..windows.assigner import WindowSet, assign_windows
 from .dispatcher import Dispatcher, Source
 from .executor import ThreadedExecutor
 from .executor_mp import ProcessExecutor, fork_available
+from .fusion import fuse_operator
 from .query import Query
 from .result_stage import ResultStage
 from .scheduler import (
@@ -107,6 +108,14 @@ class SaberConfig:
     backpressure: str = "block"
     #: circular input buffer capacity, in query tasks per input stream.
     buffer_capacity_tasks: int = 96
+    #: query fusion (:mod:`repro.core.fusion`): ``"auto"`` (default)
+    #: compiles eligible single-input operator chains (σ∘π, σ∘α,
+    #: σ∘π∘α, …) into one single-pass kernel at ``add_query``;
+    #: ``"off"`` runs the unfused compose chain with its intermediate
+    #: materialisations.  Outputs are bitwise-identical either way, on
+    #: every backend; joins and multi-input operators always run
+    #: unfused.
+    fusion: str = "auto"
     spec: HardwareSpec = DEFAULT_SPEC
 
     def __post_init__(self) -> None:
@@ -131,6 +140,8 @@ class SaberConfig:
             raise SimulationError(str(exc)) from None
         if self.buffer_capacity_tasks <= 0:
             raise SimulationError("buffer_capacity_tasks must be positive")
+        if self.fusion not in ("auto", "off"):
+            raise SimulationError(f"unknown fusion mode {self.fusion!r} (expected 'auto' or 'off')")
 
 
 @dataclass
@@ -262,12 +273,25 @@ class SaberEngine:
         ``on_emit`` is forwarded to the query's :class:`ResultStage` as
         the per-query sink hook (called per ordered output chunk, on the
         emitting worker's thread).
+
+        Under ``SaberConfig(fusion="auto")`` the query's operator chain
+        is compiled here into a single-pass fused kernel when eligible
+        (``query.fused_operator``); every backend then executes the
+        fused kernel while ``query.operator`` remains the user-visible
+        plan.  Joins, multi-input operators and bare single-stage
+        operators are left unfused.
         """
         if self.config.execute_data and sources is None:
             raise SimulationError(
                 f"query {query.name!r}: sources are required unless "
                 "execute_data=False"
             )
+        # Set (or clear) the compiled kernel explicitly either way, so a
+        # query object re-submitted to an engine with a different fusion
+        # mode never carries a stale kernel along.
+        query.fused_operator = (
+            fuse_operator(query.operator) if self.config.fusion == "auto" else None
+        )
         if self.config.execute_data and sources is not None:
             for source in sources:
                 bind = getattr(source, "bind_stop", None)
@@ -564,17 +588,14 @@ class SaberEngine:
         if not self.config.execute_data:
             __, __, stats, output_bytes = self._materialise(task)
             return None, stats, output_bytes
-        result = (
-            execute_on_gpu(task.query.operator, slices)
-            if gpu
-            else task.query.operator.process_batch(slices)
-        )
+        operator = task.query.execution_operator
+        result = execute_on_gpu(operator, slices) if gpu else operator.process_batch(slices)
         return result, dict(result.stats), result.output_bytes
 
     def _execute_cpu(self, worker: _Worker, task: QueryTask) -> None:
         slices, __, __, __ = self._materialise(task)
         result, stats, __ = self._run_operator(task, slices, gpu=False)
-        profile = task.query.operator.cost_profile()
+        profile = task.query.execution_operator.cost_profile()
         duration = self.cpu_model.task_seconds(profile, task.tuple_count, stats)
         duration *= self.cpu_model.contention_factor(self.config.cpu_workers)
         duration += self.cpu_model.result_stage_seconds()
@@ -589,7 +610,7 @@ class SaberEngine:
         result, stats, output_bytes = self._run_operator(task, slices, gpu=True)
         if result is not None:
             output_bytes = result.output_bytes
-        profile = task.query.operator.cost_profile()
+        profile = task.query.execution_operator.cost_profile()
         boundary = self.gpu_model.boundary_seconds(profile, task.tuple_count, stats)
         durations = self.gpu_model.stage_durations(
             profile, task.size_bytes, output_bytes, task.tuple_count, stats

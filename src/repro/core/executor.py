@@ -12,7 +12,10 @@ enabled) one **GPGPU worker thread**:
 * workers claim tasks from the shared queue under the hybrid lookahead
   scheduling discipline — ``Scheduler.select`` runs under the queue
   lock, since it both inspects the queue and mutates the
-  switch-threshold counters;
+  switch-threshold counters — and execute each task's batch operator
+  function through ``query.execution_operator`` (the single-pass fused
+  kernel when the fusion layer compiled one, the user's operator chain
+  otherwise);
 * workers only ever see read-only ``(start, stop)`` buffer ranges; the
   per-query result stage re-orders out-of-order completions and frees
   buffer space strictly in task order, which is what keeps the

@@ -18,9 +18,15 @@ coordination state exactly where the paper puts it:
   outstanding task per worker) and walks ``Scheduler.select`` at the
   latest possible moment, sending the chosen task's *descriptor*
   (pointer ranges, not data) down a per-processor task queue;
-* workers execute the operator against the shared buffers and send the
-  :class:`~repro.operators.base.BatchResult` back over a **completion
-  queue**; the parent's **result stage** re-orders completions and
+* workers execute the operator (the query's *fused* kernel when the
+  fusion layer compiled one — ``query.execution_operator`` resolves it
+  identically in parent and child) against the shared buffers and send
+  the :class:`~repro.operators.base.BatchResult` back over a
+  **completion queue** — window partials cross it as compact columnar
+  numpy payloads (see
+  :class:`~repro.operators.groupby.GroupedWindowAccumulator`), which is
+  what keeps slide-1 grouped windows from drowning in per-window pickle
+  costs; the parent's **result stage** re-orders completions and
   frees buffer space strictly in task order, exactly as the other
   backends do — which is why outputs are byte-identical across
   sim/threads/processes — and throughput feedback flows into the HLS

@@ -103,7 +103,10 @@ class ResultStage:
 
     def _process(self, slot: _Slot, now: float) -> "list[EmittedResult]":
         task, result = slot.task, slot.result
-        operator = self.query.operator
+        # Assembly runs through the operator that produced the payloads
+        # (the fused kernel delegates to its terminal, so fused and
+        # unfused payloads share one assembly algebra).
+        operator = self.query.execution_operator
         ready: list[int] = []
         self._closed_flags.update(result.closed_ids)
         if operator.requires_merged_ready:
@@ -177,7 +180,7 @@ class ResultStage:
         Streaming semantics never emit incomplete windows; examples over
         finite inputs call this to drain the tail.
         """
-        operator = self.query.operator
+        operator = self.query.execution_operator
         chunks: list[TupleBatch] = []
         with self._lock:
             pending = sorted(self._pending.items())

@@ -8,7 +8,7 @@ from .aggregation import Aggregation, WindowAccumulator
 from .groupby import GroupedAggregation, GroupedWindowAccumulator
 from .join import JoinPartial, ThetaJoin
 from .distinct import DistinctProjection
-from .compose import FilteredWindows
+from .compose import FilteredWindows, ProjectedWindows
 from .udf import WindowUdf, partition_join
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "JoinPartial",
     "DistinctProjection",
     "FilteredWindows",
+    "ProjectedWindows",
     "WindowUdf",
     "partition_join",
 ]

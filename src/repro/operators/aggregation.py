@@ -136,13 +136,22 @@ class Aggregation(Operator):
             key = (int(starts[idx]), int(ends[idx]))
             payload = shared.get(key)
             if payload is None:
+                empty = counts[idx] == 0
                 columns = {}
                 for name in sum_cols | extrema_cols:
+                    # Empty fragments answer NaN from the sparse table
+                    # (nothing to emit); the mergeable partial needs the
+                    # ±inf identities instead, so a later fragment's
+                    # real extremum survives the merge.
                     columns[name] = Accumulator(
                         total=float(sums.get(name, np.zeros(m))[idx]),
                         count=counts[idx],
-                        minimum=float(mins.get(name, np.full(m, np.inf))[idx]),
-                        maximum=float(maxs.get(name, np.full(m, -np.inf))[idx]),
+                        minimum=np.inf
+                        if empty
+                        else float(mins.get(name, np.full(m, np.inf))[idx]),
+                        maximum=-np.inf
+                        if empty
+                        else float(maxs.get(name, np.full(m, -np.inf))[idx]),
                     )
                 payload = WindowAccumulator(
                     columns=columns,
@@ -162,7 +171,9 @@ class Aggregation(Operator):
 
     # -- assembly operator function -----------------------------------------
 
-    def merge_partials(self, first: WindowAccumulator, second: WindowAccumulator) -> WindowAccumulator:
+    def merge_partials(
+        self, first: WindowAccumulator, second: WindowAccumulator
+    ) -> WindowAccumulator:
         return first.merge(second)
 
     def finalize_window(self, window_id: int, payload: WindowAccumulator) -> "TupleBatch | None":

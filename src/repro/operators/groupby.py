@@ -4,8 +4,12 @@ The batch operator function maintains one group table per window fragment.
 On the CPU this is modelled with vectorised grouping (``np.unique`` +
 scatter-adds — the dense equivalent of the paper's pooled hash tables);
 the GPGPU path uses the open-addressing table in :mod:`repro.gpu.hashtable`.
-Fragment group tables are mergeable dictionaries, so windows spanning
-several query tasks are assembled exactly like plain aggregates.
+Fragment group tables are mergeable *columnar* payloads — sorted key
+rows plus (groups × 4) accumulator blocks — so windows spanning several
+query tasks are assembled exactly like plain aggregates, and the
+processes backend ships them over its completion queue as a handful of
+numpy arrays instead of per-group Python objects (the PR 4
+result-serialisation tax).
 
 HAVING re-uses the selection machinery: the predicate is evaluated over
 the emitted (timestamp, groups, aggregates) rows.
@@ -22,34 +26,84 @@ from ..relational.expressions import Predicate
 from ..relational.schema import Attribute, Schema, TIMESTAMP_ATTRIBUTE
 from ..relational.tuples import TupleBatch
 from ..windows.assigner import FragmentState
-from .aggregate_functions import Accumulator, AggregateSpec
+from .aggregate_functions import AggregateSpec
 from .base import BatchResult, CostProfile, Operator, StreamSlice
+
+
+def _empty_keys() -> np.ndarray:
+    return np.zeros((0, 0), dtype=np.int64)
+
+
+def _empty_counts() -> np.ndarray:
+    return np.zeros(0, dtype=np.float64)
 
 
 @dataclass
 class GroupedWindowAccumulator:
-    """Partial per-group aggregates of one window across fragments."""
+    """Partial per-group aggregates of one window across fragments.
 
-    groups: dict[tuple, dict[str, Accumulator]] = field(default_factory=dict)
-    group_counts: dict[tuple, float] = field(default_factory=dict)
+    The payload is **columnar** — plain numpy arrays, exactly the shape
+    :meth:`GroupedAggregation._fragment_table` computes:
+
+    * ``keys`` — (groups × key columns) int64, lexicographically sorted
+      (``np.unique`` order);
+    * ``tables`` — per value column, a (groups × 4) float64 block of
+      ``(sum, count, min, max)`` partial aggregates;
+    * ``counts`` — per-group tuple counts.
+
+    Columnar payloads matter beyond locality: the processes backend
+    ships every partial over the completion queue, and a slide-1 query
+    carries one payload per open window per task.  Arrays pickle in
+    O(bytes); the former ``dict[key, dict[column, Accumulator]]`` shape
+    serialised thousands of tiny Python objects per task — the
+    result-serialisation tax PR 4 documented.  Merging is vectorised
+    and never mutates either operand (payloads are shared across
+    windows whose fragments coincide).
+    """
+
+    keys: np.ndarray = field(default_factory=_empty_keys)
+    tables: dict[str, np.ndarray] = field(default_factory=dict)
+    counts: np.ndarray = field(default_factory=_empty_counts)
     last_timestamp: int = 0
 
     def merge(self, other: "GroupedWindowAccumulator") -> "GroupedWindowAccumulator":
-        groups = {k: dict(v) for k, v in self.groups.items()}
-        counts = dict(self.group_counts)
-        for key, columns in other.groups.items():
-            if key in groups:
-                mine = groups[key]
-                for name, acc in columns.items():
-                    mine[name] = mine[name].merge(acc) if name in mine else acc
-            else:
-                groups[key] = dict(columns)
-            counts[key] = counts.get(key, 0.0) + other.group_counts.get(key, 0.0)
-        return GroupedWindowAccumulator(
-            groups=groups,
-            group_counts=counts,
-            last_timestamp=max(self.last_timestamp, other.last_timestamp),
+        last = max(self.last_timestamp, other.last_timestamp)
+        if len(self.keys) == 0:
+            return GroupedWindowAccumulator(other.keys, other.tables, other.counts, last)
+        if len(other.keys) == 0:
+            return GroupedWindowAccumulator(self.keys, self.tables, self.counts, last)
+        stacked_keys = np.concatenate([self.keys, other.keys])
+        merged_keys, inverse = np.unique(stacked_keys, axis=0, return_inverse=True)
+        n_groups = len(merged_keys)
+        counts = np.bincount(
+            inverse,
+            weights=np.concatenate([self.counts, other.counts]),
+            minlength=n_groups,
         )
+        tables: dict[str, np.ndarray] = {}
+        for name in {*self.tables, *other.tables}:
+            mine = self._table(name)
+            theirs = other._table(name)
+            stacked = np.concatenate([mine, theirs])
+            acc = np.empty((n_groups, 4), dtype=np.float64)
+            acc[:, 0] = np.bincount(inverse, weights=stacked[:, 0], minlength=n_groups)
+            acc[:, 1] = np.bincount(inverse, weights=stacked[:, 1], minlength=n_groups)
+            acc[:, 2] = np.full(n_groups, np.inf)
+            np.minimum.at(acc[:, 2], inverse, stacked[:, 2])
+            acc[:, 3] = np.full(n_groups, -np.inf)
+            np.maximum.at(acc[:, 3], inverse, stacked[:, 3])
+            tables[name] = acc
+        return GroupedWindowAccumulator(merged_keys, tables, counts, last)
+
+    def _table(self, name: str) -> np.ndarray:
+        block = self.tables.get(name)
+        if block is None:
+            block = np.empty((len(self.keys), 4), dtype=np.float64)
+            block[:, 0] = 0.0
+            block[:, 1] = 0.0
+            block[:, 2] = np.inf
+            block[:, 3] = -np.inf
+        return block
 
 
 class GroupedAggregation(Operator):
@@ -141,12 +195,13 @@ class GroupedAggregation(Operator):
         start: int,
         stop: int,
         key_arrays: "dict[str, np.ndarray] | None" = None,
-    ) -> "tuple[list[tuple], dict[str, np.ndarray], np.ndarray]":
+    ) -> "tuple[np.ndarray, dict[str, np.ndarray], np.ndarray]":
         """Per-group accumulators over batch rows ``[start, stop)``.
 
-        Returns (group keys, per-column stacked accumulator arrays, counts)
-        where each column maps to a (groups × 4) array of
-        (sum, count, min, max).
+        Returns (group-key rows, per-column stacked accumulator arrays,
+        counts) where keys are a (groups × key columns) int64 array in
+        ``np.unique`` order and each value column maps to a (groups × 4)
+        array of (sum, count, min, max) — the columnar payload shape.
         """
         if key_arrays is None:
             key_arrays = self._key_arrays(batch)
@@ -167,12 +222,12 @@ class GroupedAggregation(Operator):
             acc[:, 3] = np.full(n_groups, -np.inf)
             np.maximum.at(acc[:, 3], inverse, values)
             tables[name] = acc
-        return [tuple(k) for k in unique_keys], tables, counts
+        return unique_keys, tables, counts
 
     def _emit_rows(
         self,
         window_ts: "list[int]",
-        window_groups: "list[tuple[list[tuple], dict[str, np.ndarray], np.ndarray]]",
+        window_groups: "list[tuple[np.ndarray, dict[str, np.ndarray], np.ndarray]]",
     ) -> TupleBatch:
         """Rows for a sequence of windows' final group tables."""
         ts_out: list[np.ndarray] = []
@@ -244,21 +299,9 @@ class GroupedAggregation(Operator):
                 complete_ts.append(last_ts)
                 complete_groups.append((keys, tables, counts))
             else:
-                groups = {}
-                group_counts = {}
-                for g, key in enumerate(keys):
-                    columns = {}
-                    for name, acc in tables.items():
-                        columns[name] = Accumulator(
-                            total=acc[g, 0],
-                            count=acc[g, 1],
-                            minimum=acc[g, 2],
-                            maximum=acc[g, 3],
-                        )
-                    groups[key] = columns
-                    group_counts[key] = float(counts[g])
+                # The fragment table already *is* the columnar payload.
                 payload = GroupedWindowAccumulator(
-                    groups=groups, group_counts=group_counts, last_timestamp=last_ts
+                    keys=keys, tables=tables, counts=counts, last_timestamp=last_ts
                 )
                 shared[(start, stop)] = payload
                 partials[wid] = payload
@@ -283,30 +326,11 @@ class GroupedAggregation(Operator):
     def finalize_window(
         self, window_id: int, payload: GroupedWindowAccumulator
     ) -> "TupleBatch | None":
-        if not payload.groups:
+        if len(payload.keys) == 0:
             return None
-        keys = list(payload.groups.keys())
-        value_columns = self._value_columns()
-        tables = {
-            name: np.array(
-                [
-                    [
-                        payload.groups[k][name].total,
-                        payload.groups[k][name].count,
-                        payload.groups[k][name].minimum,
-                        payload.groups[k][name].maximum,
-                    ]
-                    if name in payload.groups[k]
-                    else [0.0, 0.0, np.inf, -np.inf]
-                    for k in keys
-                ],
-                dtype=np.float64,
-            )
-            for name in value_columns
-        }
-        counts = np.array([payload.group_counts.get(k, 0.0) for k in keys])
+        tables = {name: payload._table(name) for name in self._value_columns()}
         return self._emit_rows(
-            [payload.last_timestamp], [(keys, tables, counts)]
+            [payload.last_timestamp], [(payload.keys, tables, payload.counts)]
         ) or None
 
 

@@ -44,14 +44,22 @@ class PrefixRangeAggregator:
 
 
 class SparseTableRangeAggregator:
-    """O(1) range min/max over a batch after an O(n log n) build."""
+    """O(1) range min/max over a batch after an O(n log n) build.
+
+    Zero-length ranges answer **NaN** (SQL's NULL for aggregates over
+    nothing), *not* the ±inf merge identities: a sentinel infinity
+    returned for an empty fragment would be indistinguishable from a
+    real extreme value and could leak into emitted MIN/MAX results.
+    The merge identities stay internal to the aggregation layer, which
+    substitutes them when building mergeable partials for empty
+    fragments.
+    """
 
     def __init__(self, values: np.ndarray, combine: str = "max") -> None:
         if combine not in ("min", "max"):
             raise WindowError(f"combine must be 'min' or 'max', got {combine!r}")
         values = np.asarray(values, dtype=np.float64)
         self._combine = np.minimum if combine == "min" else np.maximum
-        self._identity = np.inf if combine == "min" else -np.inf
         n = len(values)
         self._n = n
         levels = max(1, int(np.floor(np.log2(n))) + 1) if n else 1
@@ -66,13 +74,13 @@ class SparseTableRangeAggregator:
             self._table.append(merged)
 
     def query(self, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
-        """min/max of ``values[starts[i]:ends[i]]``; identity for empty."""
+        """min/max of ``values[starts[i]:ends[i]]``; NaN for empty ranges."""
         starts = np.asarray(starts, dtype=np.int64)
         ends = np.asarray(ends, dtype=np.int64)
         if np.any(starts > ends):
             raise WindowError("range query with start > end")
         lengths = ends - starts
-        out = np.full(len(starts), self._identity, dtype=np.float64)
+        out = np.full(len(starts), np.nan, dtype=np.float64)
         nonempty = lengths > 0
         if not np.any(nonempty):
             return out

@@ -8,7 +8,9 @@ from .synthetic import (
     groupby_query,
     join_query,
     proj_query,
+    select_project_query,
     select_query,
+    spa_query,
     window_bytes,
 )
 from .cluster import (
@@ -42,6 +44,8 @@ __all__ = [
     "SyntheticSource",
     "proj_query",
     "select_query",
+    "select_project_query",
+    "spa_query",
     "agg_query",
     "groupby_query",
     "join_query",

@@ -21,6 +21,7 @@ from ..core.query import Query
 from ..io.base import GeneratorSource
 from ..operators.aggregate_functions import AggregateSpec
 from ..operators.aggregation import Aggregation
+from ..operators.compose import FilteredWindows, ProjectedWindows
 from ..operators.groupby import GroupedAggregation
 from ..operators.join import ThetaJoin
 from ..operators.projection import Projection
@@ -268,6 +269,83 @@ def groupby_query(
         stat_model=_aggregation_stat_model(
             w, operator.output_schema.tuple_size, groups=float(groups)
         ),
+    )
+
+
+def _pass_rate_predicate(pass_rate: float) -> Predicate:
+    """``a5 < threshold``: passes a ``pass_rate`` fraction of tuples."""
+    return col("a5") < int(VALUE_RANGE * pass_rate)
+
+
+def select_project_query(
+    m: int,
+    pass_rate: float = 0.5,
+    window: "WindowDefinition | None" = None,
+    name: "str | None" = None,
+) -> Query:
+    """σ∘π: WHERE plus PROJ_m in one operator chain.
+
+    Compiles to ``FilteredWindows(σ, Projection)`` — the two-stage chain
+    the query-fusion layer collapses into one single-pass kernel.  The
+    stateless-heavy shape of Table 1's projection/selection mixes.
+    """
+    if not 1 <= m <= 6:
+        raise ValueError("PROJ_m supports 1..6 attributes")
+    attrs = ["a1", "a2", "a3", "a4", "a5", "a6"][:m]
+    columns: "list[tuple[str, Expression]]" = [("timestamp", col("timestamp"))]
+    columns += [(a, col(a)) for a in attrs]
+    projection = Projection(
+        SYNTHETIC_SCHEMA, columns, output_types={a: "float" for a in attrs}
+    )
+    operator = FilteredWindows(_pass_rate_predicate(pass_rate), projection)
+    w = window or _window(32 << 10, 32 << 10)
+    return Query(
+        name=name or f"SEL-PROJ{m}",
+        operator=operator,
+        windows=[w],
+        stat_model=_stateless_stat_model(
+            w, pass_rate, projection.output_schema.tuple_size
+        ),
+    )
+
+
+def spa_query(
+    functions: "str | list[str]" = "sum",
+    pass_rate: float = 0.5,
+    expressions_per_attribute: int = 2,
+    window: "WindowDefinition | None" = None,
+    name: "str | None" = None,
+) -> Query:
+    """σ∘π∘α: selection, projection and windowed aggregation chained.
+
+    Survivors of the WHERE are projected through arithmetic expressions
+    and the aggregates consume the *computed* column — the full
+    three-stage chain (``FilteredWindows(σ, ProjectedWindows(π, α))``)
+    whose two intermediate materialisations the fusion layer removes.
+    """
+    if isinstance(functions, str):
+        functions = [functions]
+    expr: Expression = col("a1")
+    for k in range(expressions_per_attribute):
+        expr = expr * 2.0 + (k + 1)
+    projection = Projection(
+        SYNTHETIC_SCHEMA,
+        [("timestamp", col("timestamp")), ("scaled", expr)],
+        output_types={"scaled": "float"},
+    )
+    specs = [
+        AggregateSpec(fn, None if fn == "count" else "scaled") for fn in functions
+    ]
+    aggregation = Aggregation(projection.output_schema, specs)
+    operator = FilteredWindows(
+        _pass_rate_predicate(pass_rate), ProjectedWindows(projection, aggregation)
+    )
+    w = window or _window(32 << 10, 32 << 10)
+    return Query(
+        name=name or f"SPA{'_'.join(functions)}",
+        operator=operator,
+        windows=[w],
+        stat_model=_aggregation_stat_model(w, aggregation.output_schema.tuple_size),
     )
 
 

@@ -39,11 +39,13 @@ from repro.workloads.smartgrid import (
 
 SEED = 7
 TASKS = 10
-#: the processes leg runs a smaller budget, drained: small-slide grouped
-#: windows (SG2/LRB3) ship per-window partial state across the process
-#: boundary, so 10 undrained tasks would spend minutes pickling — the
-#: drain flushes the tail windows and keeps every query's output
-#: non-empty at 4 tasks while exercising the same cross-task assembly.
+#: the processes leg runs a smaller budget, drained: the drain flushes
+#: the tail windows (so every query's output is non-empty at 4 tasks)
+#: and flushing a small-slide query's thousands of open windows is the
+#: dominant cost on any backend — 4 tasks keeps the leg fast while
+#: exercising the same cross-task assembly.  (PR 4's per-window pickle
+#: tax on this leg is gone: grouped partials now cross the completion
+#: queue as columnar arrays.)
 PROCESS_TASKS = 4
 
 
@@ -151,13 +153,14 @@ LEGACY_QUERIES = {
 }
 
 
-def _config(execution):
+def _config(execution, fusion="auto"):
     return dict(
         execution=execution,
         task_size_bytes=48 << 10,
         cpu_workers=4,
         queue_capacity=8,
         collect_output=True,
+        fusion=fusion,
     )
 
 
@@ -167,8 +170,13 @@ def fresh_sources(name):
 
 
 def run_legacy(name, tasks=TASKS, drain=False):
-    """The pre-refactor path: raw engine + hand-constructed operators."""
-    engine = SaberEngine(SaberConfig(**_config("sim")))
+    """The pre-refactor path: raw engine + hand-constructed operators.
+
+    Fusion is pinned off: this is the frozen pre-fusion oracle, so the
+    default-fused public path below is checked against genuinely
+    unfused execution.
+    """
+    engine = SaberEngine(SaberConfig(**_config("sim", fusion="off")))
     query = LEGACY_QUERIES[name]()
     engine.add_query(query, fresh_sources(name))
     report = engine.run(tasks_per_query=tasks)
@@ -177,10 +185,10 @@ def run_legacy(name, tasks=TASKS, drain=False):
     return report.outputs[name]
 
 
-def run_api(name, execution, tasks=TASKS, drain=False):
+def run_api(name, execution, tasks=TASKS, drain=False, fusion="auto"):
     """The public path: Stream-built workload query via SaberSession."""
     query, sources = build(name, seed=SEED, tuples_per_second=SMOKE_RATES[name])
-    with SaberSession(SaberConfig(**_config(execution))) as session:
+    with SaberSession(SaberConfig(**_config(execution, fusion=fusion))) as session:
         handle = session.submit(query, sources=sources)
         session.run(tasks_per_query=tasks)
         if drain:
@@ -207,6 +215,34 @@ def test_api_reproduces_legacy_results_on_both_backends(name):
     # The smoke rates are tuned so windows actually close within the run:
     # an accidentally-empty comparison would prove nothing.
     assert legacy is not None and len(legacy) > 0
+
+
+#: unfused sim-backend outputs at the processes-leg budget, one run per
+#: workload shared across the fusion-matrix parametrisations below.
+_UNFUSED_SIM: dict = {}
+
+
+def _unfused_sim(name):
+    if name not in _UNFUSED_SIM:
+        _UNFUSED_SIM[name] = run_api(
+            name, "sim", tasks=PROCESS_TASKS, drain=True, fusion="off"
+        )
+    return _UNFUSED_SIM[name]
+
+
+@pytest.mark.parametrize("execution", ["sim", "threads", "processes"])
+@pytest.mark.parametrize("name", APPLICATION_QUERIES)
+def test_fused_is_bitwise_identical_to_unfused(name, execution):
+    """Fusion acceptance gate: every Table-1 workload, every backend,
+    ``fusion="auto"`` ≡ ``fusion="off"`` bitwise (drained, so assembled
+    tail windows are covered too).  Ineligible plans (SG3's join) prove
+    the no-harm path; CM2-style chains prove the fused kernel."""
+    if execution == "processes" and "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("processes backend needs POSIX fork")
+    fused = run_api(name, execution, tasks=PROCESS_TASKS, drain=True, fusion="auto")
+    unfused = _unfused_sim(name)
+    assert_identical(unfused, fused)
+    assert unfused is not None and len(unfused) > 0
 
 
 @pytest.mark.skipif(

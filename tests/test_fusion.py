@@ -1,0 +1,340 @@
+"""Query-fusion layer: eligibility rules, bitwise equivalence, plumbing.
+
+The fused kernel (`repro.core.fusion`) must be a pure optimisation:
+identical outputs (bitwise), identical assembly payloads, identical
+measured stats — only the intermediate materialisations (and their cost
+in the calibrated CPU model) disappear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SaberSession, Stream, agg
+from repro.core.engine import SaberConfig, SaberEngine
+from repro.core.fusion import FusedKernel, fuse_operator, fusion_eligible
+from repro.errors import BuilderError, SimulationError
+from repro.operators.aggregate_functions import AggregateSpec
+from repro.operators.aggregation import Aggregation
+from repro.operators.base import StreamSlice
+from repro.operators.compose import FilteredWindows, ProjectedWindows
+from repro.operators.distinct import DistinctProjection
+from repro.operators.groupby import GroupedAggregation
+from repro.operators.join import ThetaJoin
+from repro.operators.projection import Projection
+from repro.operators.selection import Selection
+from repro.operators.udf import WindowUdf, partition_join
+from repro.relational.expressions import col
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+from repro.windows.assigner import assign_count_windows
+from repro.windows.definition import WindowDefinition
+from repro.workloads.synthetic import (
+    SYNTHETIC_SCHEMA,
+    SyntheticSource,
+    select_project_query,
+    spa_query,
+)
+
+SCHEMA = Schema.with_timestamp("v:float, k:int, w:int")
+
+
+def batch(start, stop, seed=3):
+    idx = np.arange(start, stop)
+    rng = np.random.default_rng(seed + start)
+    return TupleBatch.from_columns(
+        SCHEMA,
+        timestamp=idx.astype(np.int64),
+        v=rng.random(stop - start).astype(np.float32),
+        k=(idx % 3).astype(np.int32),
+        w=rng.integers(0, 50, size=stop - start).astype(np.int32),
+    )
+
+
+def sl(data, window, start=0):
+    ws = assign_count_windows(window, start, start + len(data))
+    return StreamSlice(data, ws, start)
+
+
+def chains():
+    """(label, unfused chain) pairs covering every fusable shape."""
+    predicate = col("k").eq(1) | (col("w") < 25)
+    projection = Projection(
+        SCHEMA,
+        [("timestamp", col("timestamp")), ("scaled", col("v") * 3.0 + 1.0)],
+        output_types={"scaled": "float"},
+    )
+    aggregation = Aggregation(
+        projection.output_schema,
+        [AggregateSpec("sum", "scaled"), AggregateSpec("min", "scaled")],
+    )
+    return [
+        (
+            "filter-project",
+            FilteredWindows(predicate, Projection(SCHEMA, [("v", col("v")), ("k", col("k"))])),
+        ),
+        (
+            "filter-distinct",
+            FilteredWindows(predicate, DistinctProjection(SCHEMA, [("k", col("k"))])),
+        ),
+        (
+            "filter-aggregate",
+            FilteredWindows(
+                predicate,
+                Aggregation(SCHEMA, [AggregateSpec("avg", "v"), AggregateSpec("max", "v")]),
+            ),
+        ),
+        (
+            "filter-groupby",
+            FilteredWindows(
+                predicate,
+                GroupedAggregation(SCHEMA, ["k"], [AggregateSpec("sum", "v")]),
+            ),
+        ),
+        ("project-aggregate", ProjectedWindows(projection, aggregation)),
+        (
+            "filter-project-aggregate",
+            FilteredWindows(predicate, ProjectedWindows(projection, aggregation)),
+        ),
+    ]
+
+
+class TestEligibility:
+    def test_bare_operators_decline(self):
+        # Single-stage operators are already one pass: nothing to fuse.
+        assert fuse_operator(Selection(SCHEMA, col("k").eq(0))) is None
+        assert fuse_operator(Projection(SCHEMA, [("v", col("v"))])) is None
+        assert fuse_operator(Aggregation(SCHEMA, [AggregateSpec("sum", "v")])) is None
+        assert (
+            fuse_operator(GroupedAggregation(SCHEMA, ["k"], [AggregateSpec("sum", "v")]))
+            is None
+        )
+
+    def test_joins_decline(self):
+        join = ThetaJoin(SCHEMA, SCHEMA.rename("R"), col("k").eq(col("r_k")))
+        assert fuse_operator(join) is None
+        assert not fusion_eligible(join)
+
+    def test_multi_input_udfs_decline(self):
+        out = Schema.parse("n:long")
+        udf = partition_join(
+            [SCHEMA, SCHEMA], "k", out, lambda parts: TupleBatch.empty(out)
+        )
+        assert udf.arity == 2
+        assert fuse_operator(udf) is None
+
+    def test_filtered_udf_declines(self):
+        # Arity-1 UDFs slice raw fragment rows, which the lazy column
+        # views cannot serve — the chain must decline, not miscompile.
+        out = Schema.parse("n:long")
+        udf = WindowUdf(
+            [SCHEMA],
+            out,
+            lambda windows: TupleBatch.from_columns(
+                out, n=np.array([len(windows[0])], dtype=np.int64)
+            ),
+        )
+        assert fuse_operator(FilteredWindows(col("k").eq(0), udf)) is None
+
+    @pytest.mark.parametrize("label,chain", chains(), ids=[c[0] for c in chains()])
+    def test_compose_chains_fuse(self, label, chain):
+        fused = fuse_operator(chain)
+        assert isinstance(fused, FusedKernel)
+        assert fused.output_schema.attribute_names == chain.output_schema.attribute_names
+
+    def test_fused_cost_profile_is_one_unit(self):
+        for label, chain in chains():
+            unfused = chain.cost_profile()
+            fused = fuse_operator(chain).cost_profile()
+            assert unfused.materialized_intermediates >= 1, label
+            assert fused.materialized_intermediates == 0, label
+            assert fused.kind == unfused.kind, label
+            assert fused.ops_per_tuple == unfused.ops_per_tuple, label
+            assert fused.predicate_count == unfused.predicate_count, label
+            assert fused.aggregate_count == unfused.aggregate_count, label
+            assert fused.has_group_by == unfused.has_group_by, label
+
+    def test_fused_chain_is_cheaper_on_the_cpu_model(self):
+        from repro.hardware.cpu import CpuModel
+
+        model = CpuModel()
+        __, chain = chains()[-1]  # σ∘π∘α: two intermediates
+        stats = {"selectivity": 0.5, "fragments": 16.0}
+        unfused = model.task_seconds(chain.cost_profile(), 32768, stats)
+        fused = model.task_seconds(fuse_operator(chain).cost_profile(), 32768, stats)
+        assert unfused / fused >= 1.3
+
+
+class TestBitwiseEquivalence:
+    """Same slices through the chain and the fused kernel: identical
+    complete rows, partial payloads, finalised windows and stats."""
+
+    @pytest.mark.parametrize("label,chain", chains(), ids=[c[0] for c in chains()])
+    def test_single_task(self, label, chain):
+        fused = fuse_operator(chain)
+        w = WindowDefinition.rows(16, 4)
+        for start, stop in [(0, 64), (64, 100)]:
+            a = chain.process_batch([sl(batch(start, stop), w, start)])
+            b = fused.process_batch([sl(batch(start, stop), w, start)])
+            assert np.array_equal(a.complete.data, b.complete.data)
+            assert sorted(a.partials) == sorted(b.partials)
+            assert a.closed_ids == b.closed_ids
+            assert a.stats == b.stats
+
+    @pytest.mark.parametrize("label,chain", chains(), ids=[c[0] for c in chains()])
+    def test_cross_task_assembly(self, label, chain):
+        fused = fuse_operator(chain)
+        w = WindowDefinition.rows(24, 24)
+        a1 = chain.process_batch([sl(batch(0, 15), w)])
+        a2 = chain.process_batch([sl(batch(15, 24), w, start=15)])
+        b1 = fused.process_batch([sl(batch(0, 15), w)])
+        b2 = fused.process_batch([sl(batch(15, 24), w, start=15)])
+        if not a1.partials:
+            # Stateless terminals (π) emit per tuple: no window payloads
+            # to assemble, fused or not.
+            assert not b1.partials and not b2.partials
+            return
+        merged_a = chain.merge_partials(a1.partials[0], a2.partials[0])
+        merged_b = fused.merge_partials(b1.partials[0], b2.partials[0])
+        rows_a = chain.finalize_window(0, merged_a)
+        rows_b = fused.finalize_window(0, merged_b)
+        assert (rows_a is None) == (rows_b is None)
+        if rows_a is not None:
+            assert np.array_equal(rows_a.data, rows_b.data)
+
+    def test_empty_batch(self):
+        for label, chain in chains():
+            fused = fuse_operator(chain)
+            w = WindowDefinition.rows(8, 8)
+            a = chain.process_batch([sl(batch(0, 0), w)])
+            b = fused.process_batch([sl(batch(0, 0), w)])
+            assert np.array_equal(a.complete.data, b.complete.data), label
+
+    def test_nothing_survives_the_predicate(self):
+        chain = FilteredWindows(
+            col("w") < -1, Aggregation(SCHEMA, [AggregateSpec("sum", "v")])
+        )
+        fused = fuse_operator(chain)
+        w = WindowDefinition.rows(8, 8)
+        a = chain.process_batch([sl(batch(0, 32), w)])
+        b = fused.process_batch([sl(batch(0, 32), w)])
+        assert np.array_equal(a.complete.data, b.complete.data)
+        assert a.stats["selectivity"] == b.stats["selectivity"] == 0.0
+
+
+class TestEnginePlumbing:
+    def _config(self, **kw):
+        return SaberConfig(
+            task_size_bytes=8 << 10, cpu_workers=2, collect_output=True, **kw
+        )
+
+    def test_auto_compiles_eligible_queries(self):
+        query = select_project_query(3)
+        engine = SaberEngine(self._config(fusion="auto"))
+        engine.add_query(query, [SyntheticSource(seed=1)])
+        assert isinstance(query.fused_operator, FusedKernel)
+        assert query.execution_operator is query.fused_operator
+
+    def test_off_clears_a_stale_kernel(self):
+        query = select_project_query(3)
+        SaberEngine(self._config(fusion="auto")).add_query(query, [SyntheticSource(seed=1)])
+        assert query.fused_operator is not None
+        SaberEngine(self._config(fusion="off")).add_query(query, [SyntheticSource(seed=1)])
+        assert query.fused_operator is None
+        assert query.execution_operator is query.operator
+
+    def test_ineligible_queries_stay_unfused_under_auto(self):
+        from repro.workloads.synthetic import join_query
+
+        query = join_query(1)
+        engine = SaberEngine(self._config(fusion="auto"))
+        engine.add_query(query, [SyntheticSource(seed=1), SyntheticSource(seed=2)])
+        assert query.fused_operator is None
+
+    def test_unknown_fusion_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            SaberConfig(fusion="sometimes")
+
+    @pytest.mark.parametrize("execution", ["sim", "threads"])
+    def test_fused_run_matches_unfused_run(self, execution):
+        def run(fusion):
+            with SaberSession(
+                self._config(execution=execution, fusion=fusion)
+            ) as session:
+                handle = session.submit(
+                    spa_query(["sum", "max"], name="SPA"),
+                    sources=[SyntheticSource(seed=11)],
+                )
+                session.run(tasks_per_query=6)
+                return handle.output()
+
+        a, b = run("off"), run("auto")
+        assert a is not None and len(a)
+        assert np.array_equal(a.data, b.data)
+
+
+class TestBuilderProjectedAggregation:
+    def test_select_aggregate_compiles_to_projected_windows(self):
+        plan = (
+            Stream.named("Syn", SYNTHETIC_SCHEMA)
+            .window(rows=128, slide=32)
+            .select(("scaled", col("a1") * 2.0))
+            .aggregate(agg.sum("scaled", "total"))
+        )
+        query = plan.build("pi-alpha")
+        assert isinstance(query.operator, ProjectedWindows)
+        assert query.operator.output_schema.attribute_names == ("timestamp", "total")
+        assert fusion_eligible(query.operator)
+
+    def test_where_select_aggregate_compiles_to_full_chain(self):
+        plan = (
+            Stream.named("Syn", SYNTHETIC_SCHEMA)
+            .window(rows=128, slide=32)
+            .where(col("a3") < 1000)
+            .select(("scaled", col("a1") * 2.0))
+            .aggregate(agg.max("scaled", "peak"))
+        )
+        operator = plan.build("spa").operator
+        assert isinstance(operator, FilteredWindows)
+        assert isinstance(operator.inner, ProjectedWindows)
+        assert fusion_eligible(operator)
+
+    def test_aggregate_over_unprojected_column_rejected(self):
+        plan = (
+            Stream.named("Syn", SYNTHETIC_SCHEMA)
+            .window(rows=128, slide=32)
+            .select(("scaled", col("a1") * 2.0))
+        )
+        with pytest.raises(BuilderError):
+            plan.aggregate(agg.sum("nope", "total"))
+        # Referencing a raw input column the select list drops fails at
+        # build: the aggregation consumes the *projected* schema.
+        with pytest.raises(BuilderError):
+            plan.aggregate(agg.sum("a1", "total")).build("bad")
+
+    def test_grouped_plans_keep_rejecting_computed_select_items(self):
+        plan = (
+            Stream.named("Syn", SYNTHETIC_SCHEMA)
+            .window(rows=128, slide=32)
+            .select(("scaled", col("a1") * 2.0))
+            .group_by("a2", agg.sum("a1", "total"))
+        )
+        with pytest.raises(BuilderError):
+            plan.build("bad")
+
+    def test_builder_chain_matches_hand_built(self):
+        plan = (
+            Stream.named("Syn", SYNTHETIC_SCHEMA)
+            .window(rows=256, slide=64)
+            .where(col("a5") < 32768)
+            .select(("scaled", col("a1") * 2.0 + 1.0), ("scaled2", col("a1") * 2.0 + 2.0))
+            .aggregate(agg.sum("scaled", "total"), agg.min("scaled2", "low"))
+        )
+        source = SyntheticSource(seed=9)
+        with SaberSession(
+            SaberConfig(task_size_bytes=8 << 10, cpu_workers=2, collect_output=True)
+        ) as session:
+            handle = session.submit(plan, sources=[source], name="chain")
+            session.run(tasks_per_query=5)
+            out = handle.output()
+        assert out is not None and len(out)
+        assert out.schema.attribute_names == ("timestamp", "total", "low")

@@ -1,0 +1,281 @@
+"""Soak benchmark for the serving daemon: many clients, one process.
+
+Drives hundreds of concurrent client connections against an in-process
+:class:`~repro.serve.server.SaberServer` and checks the serving
+layer's *invariants*, not just its speed:
+
+* **exact delivery** — every connection pushes ``value=1.0`` rows into
+  its tenant's stream (``block`` backpressure, lossless by contract);
+  after end-of-stream, the sum of the ``total`` column across every
+  delivered chunk must equal the rows pushed, per tenant, exactly;
+* **zero drops** — ``saber_result_backlog_dropped_total`` and the
+  ingress eviction counters must stay 0 under the ``block`` policy;
+* **no starvation** — every tenant's drain completes (``done``) within
+  the deadline even with all connections contending;
+* **no leaks** — ``/dev/shm`` entries and live thread counts return to
+  their pre-run baseline after a graceful ``shutdown(drain=True)``.
+
+The record is written as JSON (``BENCH_PR6.json`` at the repo root is
+the committed full run) and gated in CI by
+``check_regression.py --serve``.  ``--smoke`` shrinks the fleet for the
+CI bench step; the committed record must come from a full run::
+
+    python benchmarks/bench_serve.py                 # full soak (>= 200)
+    python benchmarks/bench_serve.py --smoke         # CI-sized
+    python benchmarks/check_regression.py --serve BENCH_PR6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.serve import (  # noqa: E402 - path bootstrap above
+    SaberServer,
+    ServeClient,
+    ServeConfig,
+    TenantQuotas,
+)
+
+SCHEMA = "timestamp:long, value:float"
+CQL = "select timestamp, sum(value) as total from s [rows 64 slide 64]"
+
+
+def shm_entries() -> "list[str]":
+    try:
+        return sorted(os.listdir("/dev/shm"))
+    except OSError:
+        return []
+
+
+def producer(host, port, tenant, rows, batch, counts, lock, errors):
+    """One client connection: push ``rows`` rows in ``batch``-sized frames."""
+    try:
+        with ServeClient(host, port, tenant=tenant, timeout=120.0) as client:
+            pushed = 0
+            while pushed < rows:
+                n = min(batch, rows - pushed)
+                client.push(
+                    "s",
+                    [
+                        {"timestamp": pushed + i, "value": 1.0}
+                        for i in range(n)
+                    ],
+                )
+                pushed += n
+        with lock:
+            counts[tenant] += pushed
+    except Exception as exc:  # noqa: BLE001 - recorded, fails the run
+        errors.append(f"{tenant}: {type(exc).__name__}: {exc}")
+
+
+def drain(host, port, tenant, deadline):
+    """Close the tenant's stream and drain every chunk; returns
+    ``(delivered_sum, done)``."""
+    total = 0.0
+    done = False
+    with ServeClient(host, port, tenant=tenant, timeout=120.0) as client:
+        client.close_stream("s")
+        while not done and time.monotonic() < deadline:
+            chunks, done = client.results("agg", max_chunks=64, timeout=5.0)
+            for rows in chunks:
+                total += sum(r["total"] for r in rows)
+    return total, done
+
+
+def run(args) -> dict:
+    threads_before = threading.active_count()
+    shm_before = shm_entries()
+    tenants = [f"tenant{i}" for i in range(args.tenants)]
+
+    config = ServeConfig(
+        port=0,
+        metrics_port=0,
+        max_sessions=args.tenants,
+        quotas=TenantQuotas(
+            backpressure="block",
+            push_capacity_tuples=args.push_capacity,
+            cpu_workers=args.workers,
+        ),
+        execution=args.execution,
+    )
+    server = SaberServer(config).start()
+    host, port = server.address
+    counts = {t: 0 for t in tenants}
+    lock = threading.Lock()
+    errors: "list[str]" = []
+
+    # Phase 1: per-tenant setup — one stream, one tumbling-sum query.
+    for tenant in tenants:
+        with ServeClient(host, port, tenant=tenant, timeout=60.0) as client:
+            client.register("s", SCHEMA)
+            client.submit(CQL, name="agg")
+
+    # Phase 2: the soak — every connection alive and pushing at once.
+    started = time.monotonic()
+    workers = [
+        threading.Thread(
+            target=producer,
+            args=(
+                host, port, tenants[i % args.tenants],
+                args.rows, args.batch, counts, lock, errors,
+            ),
+            name=f"bench-client-{i}",
+        )
+        for i in range(args.connections)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    push_elapsed = time.monotonic() - started
+
+    # Phase 3: end-of-stream and exact-sum drain, one consumer per tenant.
+    deadline = time.monotonic() + args.drain_deadline
+    delivered = {}
+    for tenant in tenants:
+        delivered[tenant] = drain(host, port, tenant, deadline)
+    elapsed = time.monotonic() - started
+
+    # Phase 4: metrics invariants, then a graceful shutdown.
+    mh, mp = server.metrics_address
+    with urllib.request.urlopen(f"http://{mh}:{mp}/metrics") as reply:
+        scrape_ok = reply.status == 200 and b"saber_" in reply.read()
+    backlog_dropped = server.registry.counter(
+        "saber_result_backlog_dropped_total"
+    ).total()
+    ingress_dropped = sum(
+        server.registry.gauge("saber_ingress_dropped_tuples_total")
+        .samples()
+        .values()
+    )
+    latency = server.registry.histogram("saber_result_latency_seconds")
+    p50 = max(latency.quantile(0.5, tenant=t, query="agg") for t in tenants)
+    p99 = max(latency.quantile(0.99, tenant=t, query="agg") for t in tenants)
+    server.shutdown(drain=True)
+
+    # Phase 5: leak checks after everything wound down.
+    time.sleep(0.5)
+    shm_after = shm_entries()
+    threads_after = threading.active_count()
+
+    rows_pushed = sum(counts.values())
+    per_tenant = [
+        {
+            "tenant": tenant,
+            "pushed": counts[tenant],
+            "delivered_sum": delivered[tenant][0],
+            "done": delivered[tenant][1],
+        }
+        for tenant in tenants
+    ]
+    exact = all(
+        row["delivered_sum"] == row["pushed"] and row["done"]
+        for row in per_tenant
+    )
+    return {
+        "bench": "serve_soak",
+        "smoke": bool(args.smoke),
+        "config": {
+            "connections": args.connections,
+            "tenants": args.tenants,
+            "rows_per_connection": args.rows,
+            "batch_rows": args.batch,
+            "execution": args.execution,
+            "backpressure": "block",
+            "workers_per_tenant": args.workers,
+        },
+        "machine": {"cpu_count": os.cpu_count()},
+        "results": {
+            "errors": errors,
+            "rows_pushed": rows_pushed,
+            "push_elapsed_seconds": round(push_elapsed, 3),
+            "elapsed_seconds": round(elapsed, 3),
+            "push_rows_per_second": round(rows_pushed / max(push_elapsed, 1e-9)),
+            "tenants": per_tenant,
+            "exact_delivery": exact and not errors,
+            "backlog_dropped_chunks": backlog_dropped,
+            "ingress_dropped_tuples": ingress_dropped,
+            "metrics_scrape_ok": scrape_ok,
+            "result_latency_p50_seconds": p50,
+            "result_latency_p99_seconds": p99,
+            "shm_entries_before": len(shm_before),
+            "shm_entries_after": len(shm_after),
+            "shm_leaked": sorted(set(shm_after) - set(shm_before)),
+            "threads_before": threads_before,
+            "threads_after": threads_after,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--connections", type=int, default=200,
+                        help="concurrent client connections (default 200)")
+    parser.add_argument("--tenants", type=int, default=8,
+                        help="tenant sessions the connections share")
+    parser.add_argument("--rows", type=int, default=512,
+                        help="rows pushed per connection")
+    parser.add_argument("--batch", type=int, default=128,
+                        help="rows per push frame")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="CPU workers per tenant session")
+    parser.add_argument("--push-capacity", type=int, default=1 << 16,
+                        help="ingress queue capacity per stream, in tuples")
+    parser.add_argument("--execution", choices=["threads", "processes"],
+                        default="threads")
+    parser.add_argument("--drain-deadline", type=float, default=300.0,
+                        help="seconds allowed for the post-EOS drain")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: 16 connections, 4 tenants")
+    parser.add_argument("--output", type=Path,
+                        default=_ROOT / "BENCH_PR6.json")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.connections = min(args.connections, 16)
+        args.tenants = min(args.tenants, 4)
+        args.rows = min(args.rows, 256)
+
+    record = run(args)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    results = record["results"]
+    print(f"wrote {args.output}")
+    print(
+        f"connections={record['config']['connections']} "
+        f"tenants={record['config']['tenants']} "
+        f"rows_pushed={results['rows_pushed']} "
+        f"push_rate={results['push_rows_per_second']}/s "
+        f"elapsed={results['elapsed_seconds']}s"
+    )
+    print(
+        f"exact_delivery={results['exact_delivery']} "
+        f"backlog_dropped={results['backlog_dropped_chunks']} "
+        f"ingress_dropped={results['ingress_dropped_tuples']} "
+        f"shm_leaked={results['shm_leaked']}"
+    )
+    ok = (
+        results["exact_delivery"]
+        and results["backlog_dropped_chunks"] == 0
+        and results["ingress_dropped_tuples"] == 0
+        and not results["shm_leaked"]
+        and results["metrics_scrape_ok"]
+    )
+    if not ok:
+        print("SOAK INVARIANTS VIOLATED", file=sys.stderr)
+        for error in results["errors"]:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

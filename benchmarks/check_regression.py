@@ -31,10 +31,19 @@ A config drift between baseline and record (task sizes, worker counts)
 fails loudly instead of comparing apples to oranges; regenerate the
 baseline with ``--write-baseline`` after an intentional change.
 
+The serving-layer soak record (``bench_serve.py`` → ``BENCH_PR6.json``)
+is gated separately with ``--serve``: its assertions are *invariants*,
+not tolerances — exact delivery (every pushed row accounted for in the
+drained sums), zero backlog/ingress drops under the ``block`` policy,
+every tenant drained to completion, no ``/dev/shm`` leaks, a live
+metrics scrape, and a connection-count floor (``--serve-min-connections``,
+default 200; the CI smoke step lowers it to the smoke fleet size).
+
 Usage::
 
     python benchmarks/check_regression.py                    # gate
     python benchmarks/check_regression.py --write-baseline   # refresh
+    python benchmarks/check_regression.py --serve BENCH_PR6.json
 """
 
 from __future__ import annotations
@@ -151,6 +160,55 @@ def check(record: dict, baseline: dict, tolerance: float,
     return failures
 
 
+def check_serve(record: dict, min_connections: int) -> "list[str]":
+    """Invariant gate over a ``bench_serve.py`` soak record."""
+    failures = []
+    results = record.get("results", {})
+    config = record.get("config", {})
+    if record.get("bench") != "serve_soak":
+        return [f"not a serve soak record (bench={record.get('bench')!r})"]
+    if config.get("connections", 0) < min_connections:
+        failures.append(
+            f"soak ran {config.get('connections')} connections, below the "
+            f"required floor of {min_connections}"
+        )
+    if config.get("backpressure") != "block":
+        failures.append(
+            f"soak ran backpressure={config.get('backpressure')!r}; the "
+            "zero-loss invariants are only meaningful under 'block'"
+        )
+    if results.get("errors"):
+        failures.append(f"client errors during the soak: {results['errors']}")
+    if not results.get("exact_delivery"):
+        failures.append(
+            "exact delivery violated: drained sums do not equal pushed rows "
+            f"(per-tenant: {results.get('tenants')})"
+        )
+    for tenant in results.get("tenants", []):
+        if not tenant.get("done"):
+            failures.append(
+                f"tenant {tenant.get('tenant')!r} never drained to "
+                "completion (starvation)"
+            )
+    if results.get("backlog_dropped_chunks", 1) != 0:
+        failures.append(
+            f"result backlog dropped {results.get('backlog_dropped_chunks')} "
+            "chunks under the block policy"
+        )
+    if results.get("ingress_dropped_tuples", 1) != 0:
+        failures.append(
+            f"ingress queues dropped {results.get('ingress_dropped_tuples')} "
+            "tuples under the block policy"
+        )
+    if results.get("shm_leaked"):
+        failures.append(
+            f"/dev/shm segments leaked past shutdown: {results['shm_leaked']}"
+        )
+    if not results.get("metrics_scrape_ok"):
+        failures.append("the /metrics endpoint did not serve a valid scrape")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--current", type=Path, default=DEFAULT_CURRENT,
@@ -163,9 +221,32 @@ def main(argv=None) -> int:
                              "(same-machine comparisons only)")
     parser.add_argument("--write-baseline", action="store_true",
                         help="regenerate the baseline from --current")
+    parser.add_argument("--serve", type=Path, default=None, metavar="RECORD",
+                        help="gate a bench_serve.py soak record's invariants "
+                             "instead of the backend-comparison baseline")
+    parser.add_argument("--serve-min-connections", type=int, default=200,
+                        help="connection-count floor for --serve "
+                             "(default 200; CI smoke lowers it)")
     args = parser.parse_args(argv)
     if not (0.0 < args.tolerance < 1.0):
         parser.error(f"--tolerance must be in (0, 1), got {args.tolerance}")
+
+    if args.serve is not None:
+        record = json.loads(args.serve.read_text())
+        failures = check_serve(record, args.serve_min_connections)
+        if failures:
+            print(f"SERVE SOAK GATE FAILED ({len(failures)} finding(s)):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        config = record["config"]
+        print(
+            f"serve soak gate passed: {config['connections']} connections, "
+            f"{record['results']['rows_pushed']} rows, exact delivery, "
+            "zero drops, no leaks"
+        )
+        return 0
 
     record = json.loads(args.current.read_text())
     if not record.get("smoke"):

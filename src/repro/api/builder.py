@@ -79,6 +79,7 @@ class _Input:
 
     @property
     def windowed(self) -> bool:
+        """Whether this input carries a window (or is explicitly unbounded)."""
         return self.window is not None or self.unbounded
 
 
@@ -162,6 +163,7 @@ class Stream:
 
     @property
     def is_join(self) -> bool:
+        """Whether the plan joins two input streams."""
         return len(self._inputs) == 2
 
     @property

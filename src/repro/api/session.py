@@ -184,10 +184,12 @@ class QueryHandle:
 
     @property
     def output_rows(self) -> int:
+        """Total output rows the query has emitted so far."""
         return self._session._engine_run(self.query).result_stage.output_rows
 
     @property
     def tasks_completed(self) -> int:
+        """Tasks the engine has completed for this query."""
         return self._session._engine_run(self.query).tasks_completed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -226,6 +228,21 @@ class SaberSession:
         self._run_done = threading.Event()   # set whenever no run is active
         self._run_done.set()
         self._closed = False
+
+    # -- observability ---------------------------------------------------------
+
+    def attach_metrics(self, hooks: Any) -> "SaberSession":
+        """Install engine observability hooks (metrics instrumentation).
+
+        ``hooks`` is a bundle exposing ``wire_engine(engine)`` and
+        ``wire_run(run)`` — see :meth:`SaberEngine.attach_metrics` and
+        :class:`repro.serve.metrics.SessionInstruments`.  Queries
+        submitted after attaching are wired as they register, so a
+        long-lived multi-tenant host (``repro serve``) attaches once at
+        session creation.  Returns the session for chaining.
+        """
+        self.engine.attach_metrics(hooks)
+        return self
 
     # -- stream registry -------------------------------------------------------
 
@@ -400,6 +417,7 @@ class SaberSession:
 
     @property
     def handles(self) -> "dict[str, QueryHandle]":
+        """Submitted queries' handles, by query name (a copy)."""
         return dict(self._handles)
 
     @property
@@ -409,6 +427,7 @@ class SaberSession:
 
     @property
     def is_running(self) -> bool:
+        """Whether a background run (:meth:`start`) is currently live."""
         return self._running
 
     def run(

@@ -8,6 +8,9 @@ Subcommands:
   (named or ad-hoc CQL) and optionally write the output to a file sink;
 * ``record`` — record a bundled workload stream to a JSONL/CSV file
   (the replay-side inverse, for producing test fixtures);
+* ``serve`` — run the long-lived multi-tenant query daemon (newline-
+  delimited JSON frames over TCP, Prometheus metrics endpoint; see
+  ``docs/operations.md`` for the runbook);
 * ``list`` — list the bundled application queries;
 * ``hardware`` — print the calibrated hardware spec.
 
@@ -19,12 +22,14 @@ Examples::
         from SmartGridStr [range 60 slide 10]" --workload smartgrid
     python -m repro record cluster events.jsonl --tuples 100000
     python -m repro replay events.jsonl CM1 --sink totals.jsonl
+    python -m repro serve --port 7070 --metrics-port 9100 --stats 10
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import logging
 import sys
 
 from .api import SaberSession
@@ -150,6 +155,63 @@ def _build_parser() -> argparse.ArgumentParser:
     record.add_argument(
         "--rate", type=int, default=256,
         help="source tuples per logical second (time-window density)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived multi-tenant query daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port", type=int, default=7070,
+        help="listen port (0 binds an ephemeral port and prints it)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="Prometheus /metrics endpoint port (0 = ephemeral; "
+             "omit to disable)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=64,
+        help="distinct tenants admitted concurrently",
+    )
+    serve.add_argument(
+        "--max-queries", type=int, default=8, help="queries per tenant"
+    )
+    serve.add_argument(
+        "--max-streams", type=int, default=8, help="push streams per tenant"
+    )
+    serve.add_argument(
+        "--buffer-tasks", type=int, default=96,
+        help="per-tenant circular buffer capacity, in tasks per stream",
+    )
+    serve.add_argument(
+        "--push-capacity", type=int, default=1 << 16,
+        help="default ingress queue capacity per stream, in tuples",
+    )
+    serve.add_argument(
+        "--backpressure", choices=["block", "error", "drop_oldest"],
+        default="block",
+        help="default ingress policy when a stream's queue fills "
+             "(overridable per register frame)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="CPU workers per tenant session"
+    )
+    serve.add_argument(
+        "--task-size", type=int, default=64 << 10,
+        help="query task size phi in bytes (per tenant session)",
+    )
+    serve.add_argument(
+        "--execution", choices=["threads", "processes"], default="threads",
+        help="execution backend for tenant sessions",
+    )
+    serve.add_argument(
+        "--stats", type=float, default=None, metavar="SECONDS",
+        help="log a periodic statistics line every SECONDS",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="graceful-drain backstop per tenant on SIGTERM, in seconds",
     )
 
     sub.add_parser("list", help="list the bundled application queries")
@@ -284,6 +346,42 @@ def _command_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported here: the serve layer is only needed by this subcommand.
+    from .serve import SaberServer, ServeConfig, TenantQuotas
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        max_sessions=args.max_sessions,
+        quotas=TenantQuotas(
+            max_queries=args.max_queries,
+            max_streams=args.max_streams,
+            buffer_capacity_tasks=args.buffer_tasks,
+            push_capacity_tuples=args.push_capacity,
+            backpressure=args.backpressure,
+            cpu_workers=args.workers,
+            task_size_bytes=args.task_size,
+        ),
+        execution=args.execution,
+        stats_interval=args.stats,
+        drain_timeout=args.drain_timeout,
+    )
+    server = SaberServer(config).start()
+    host, port = server.address
+    print(f"listening on {host}:{port}", flush=True)
+    metrics = server.metrics_address
+    if metrics is not None:
+        print(f"metrics on http://{metrics[0]}:{metrics[1]}/metrics", flush=True)
+    server.install_signal_handlers()
+    server.serve_forever()   # returns after a SIGTERM/SIGINT drain
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -294,6 +392,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _command_replay(args)
     if args.command == "record":
         return _command_record(args)
+    if args.command == "serve":
+        return _command_serve(args)
     return _command_run(args)
 
 

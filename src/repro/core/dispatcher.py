@@ -107,6 +107,11 @@ class Dispatcher:
         self.exhausted = False
         #: tuples discarded by :meth:`shed_task` (drop_oldest policy).
         self.shed_tuples = 0
+        #: optional observability hook (:meth:`SaberEngine.attach_metrics`):
+        #: called with each task this dispatcher cuts, on the dispatching
+        #: thread, right after the cut — the real ingest hot path, so the
+        #: hook must be cheap (counter increments).
+        self.on_task_cut = None
 
     @property
     def actual_task_bytes(self) -> int:
@@ -227,6 +232,8 @@ class Dispatcher:
             size_bytes=task_bytes,
         )
         self._next_task_id += 1
+        if self.on_task_cut is not None:
+            self.on_task_cut(task)
         return task
 
     def shed_task(self) -> int:

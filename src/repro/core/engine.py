@@ -242,6 +242,9 @@ class SaberEngine:
         #: end-of-stream operation — running further tasks afterwards
         #: would re-emit those windows with only their tail fragments.
         self._drained = False
+        #: metrics hook bundle installed by :meth:`attach_metrics`; new
+        #: queries registered afterwards are wired as they arrive.
+        self._metrics_hooks = None
 
     # -- set-up ------------------------------------------------------------------
 
@@ -315,7 +318,10 @@ class SaberEngine:
             on_release=dispatcher.release,
             on_emit=on_emit,
         )
-        self.runs.append(QueryRun(query, dispatcher, result_stage))
+        run = QueryRun(query, dispatcher, result_stage)
+        self.runs.append(run)
+        if self._metrics_hooks is not None:
+            self._metrics_hooks.wire_run(run)
 
     # -- run -----------------------------------------------------------------------
 
@@ -351,6 +357,24 @@ class SaberEngine:
             elapsed = self.loop.now
         self._last_elapsed = elapsed
         return self._build_report(elapsed, flush)
+
+    def attach_metrics(self, hooks) -> None:
+        """Install observability hooks on the engine's real hot path.
+
+        ``hooks`` is a bundle (:class:`repro.serve.metrics.SessionInstruments`
+        or anything shaped like it) exposing ``wire_engine(engine)`` —
+        called once, here — and ``wire_run(run)``, called for every
+        registered :class:`QueryRun`, existing and future.  The bundle
+        typically sets :attr:`Measurements.on_task` (per-task completion
+        accounting on every backend), :attr:`Dispatcher.on_task_cut`
+        (ingest-side task cuts) and :attr:`ResultStage.on_metrics`
+        (ordered output chunks and result latency).  Hooks run on the hot
+        path — dispatcher and worker threads — so they must stay cheap.
+        """
+        self._metrics_hooks = hooks
+        hooks.wire_engine(self)
+        for run in self.runs:
+            hooks.wire_run(run)
 
     def request_stop(self) -> None:
         """Ask a running (or about-to-run) engine to stop dispatching.

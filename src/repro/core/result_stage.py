@@ -79,6 +79,11 @@ class ResultStage:
         self.emitted: list[EmittedResult] = []
         self.output_rows = 0
         self.output_bytes = 0
+        #: optional observability hook (:meth:`SaberEngine.attach_metrics`):
+        #: called with each :class:`EmittedResult` right after ``on_emit``,
+        #: on the emitting worker's thread and under the result-stage lock —
+        #: it must be cheap (counter increments, histogram observations).
+        self.on_metrics = None
 
     # -- stage entry -----------------------------------------------------------
 
@@ -170,6 +175,8 @@ class ResultStage:
             self.emitted.append(record)
         if self.on_emit is not None:
             self.on_emit(full)
+        if self.on_metrics is not None:
+            self.on_metrics(full)
         return record
 
     # -- finishing -----------------------------------------------------------------

@@ -1,0 +1,174 @@
+"""A small blocking client for the ``repro serve`` protocol.
+
+:class:`ServeClient` wraps one TCP connection in request/response
+method calls — the protocol is strictly one terminal ``ok``/``error``
+frame per request, with ``results`` additionally streaming zero or
+more ``chunk`` frames first, so a blocking client needs no reader
+thread.  Error frames are raised as
+:class:`~repro.serve.protocol.ProtocolError` carrying the server's
+stable error code.
+
+This is the client the daemon's own tests, soak benchmark and
+documentation examples use::
+
+    with ServeClient("127.0.0.1", 7070, tenant="acme") as client:
+        client.register("trades", "timestamp:long, price:float")
+        client.submit(
+            "select timestamp, sum(price) as total "
+            "from trades [rows 128 slide 128]",
+            name="sums",
+        )
+        client.push("trades", [{"timestamp": i, "price": 1.0} for i in range(256)])
+        client.close_stream("trades")
+        chunks, done = client.results("sums", timeout=10.0)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from .protocol import MAX_FRAME_BYTES, ProtocolError, encode_frame
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Blocking request/response client for one tenant connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "default",
+        timeout: "float | None" = 30.0,
+    ) -> None:
+        """Connect and perform the ``hello`` handshake; ``timeout`` is
+        the socket-level cap on waiting for any single server frame."""
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self._sock.makefile("rb")
+        self._closed = False
+        self.server_info = self.request({"type": "hello", "tenant": tenant})
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _read_frame(self) -> "dict[str, Any]":
+        raw = self._reader.readline(MAX_FRAME_BYTES + 2)
+        if not raw:
+            raise ProtocolError("closed", "the server closed the connection")
+        frame = json.loads(raw)
+        if not isinstance(frame, dict) or "type" not in frame:
+            raise ProtocolError("bad-frame", f"unintelligible server frame: {raw!r}")
+        return frame
+
+    def request(self, frame: "dict[str, Any]") -> "dict[str, Any]":
+        """Send one frame and return the terminal ``ok`` frame's fields
+        (raising :class:`ProtocolError` on an ``error`` frame).  Any
+        ``chunk`` frames are collected under the key ``"chunks"``."""
+        if self._closed:
+            raise ProtocolError("closed", "client is closed")
+        self._sock.sendall(encode_frame(frame))
+        chunks: "list[list[dict[str, Any]]]" = []
+        while True:
+            reply = self._read_frame()
+            if reply["type"] == "chunk":
+                chunks.append(reply["rows"])
+                continue
+            if reply["type"] == "error":
+                raise ProtocolError(reply.get("code", "internal"), reply.get("message", ""))
+            if reply["type"] == "ok":
+                if chunks:
+                    reply = {**reply, "chunks_rows": chunks}
+                return reply
+            raise ProtocolError(
+                "bad-frame", f"unexpected server frame type {reply['type']!r}"
+            )
+
+    # -- the protocol verbs ----------------------------------------------------
+
+    def register(
+        self,
+        stream: str,
+        schema: str,
+        capacity: "int | None" = None,
+        policy: "str | None" = None,
+    ) -> "dict[str, Any]":
+        """Register a push stream; returns the server's ``ok`` fields."""
+        frame: "dict[str, Any]" = {"type": "register", "stream": stream, "schema": schema}
+        if capacity is not None:
+            frame["capacity"] = capacity
+        if policy is not None:
+            frame["policy"] = policy
+        return self.request(frame)
+
+    def submit(self, cql: str, name: "str | None" = None) -> "dict[str, Any]":
+        """Submit a CQL statement; returns ``{"query": ..., "schema": ...}``."""
+        frame: "dict[str, Any]" = {"type": "submit", "cql": cql}
+        if name is not None:
+            frame["name"] = name
+        return self.request(frame)
+
+    def push(self, stream: str, rows: "list[Any]") -> int:
+        """Push rows into a registered stream; returns tuples accepted."""
+        reply = self.request({"type": "push", "stream": stream, "rows": rows})
+        return int(reply["accepted"])
+
+    def results(
+        self,
+        query: str,
+        max_chunks: int = 16,
+        timeout: float = 5.0,
+    ) -> "tuple[list[list[dict[str, Any]]], bool]":
+        """Drain up to ``max_chunks`` output chunks; returns
+        ``(chunks, done)`` where ``done`` means the query can produce
+        no further output."""
+        reply = self.request(
+            {
+                "type": "results",
+                "query": query,
+                "max_chunks": max_chunks,
+                "timeout": timeout,
+            }
+        )
+        return reply.get("chunks_rows", []), bool(reply["done"])
+
+    def close_stream(self, stream: str) -> None:
+        """Signal end-of-stream on one of this tenant's streams."""
+        self.request({"type": "close", "stream": stream})
+
+    def stats(self) -> "dict[str, Any]":
+        """The server's statistics snapshot."""
+        return self.request({"type": "stats"})["stats"]
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe."""
+        return bool(self.request({"type": "ping"}).get("pong"))
+
+    def close(self) -> None:
+        """Send a connection ``close`` (best-effort) and drop the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.sendall(encode_frame({"type": "close"}))
+            self._reader.readline(MAX_FRAME_BYTES)  # the 'bye' ok frame
+        except OSError:
+            pass
+        finally:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

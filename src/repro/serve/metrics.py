@@ -1,0 +1,486 @@
+"""Metrics layer for the serving daemon: counters, gauges, histograms.
+
+The serving story needs numbers that come from the engine's *real* hot
+path — ingest rate, task throughput per processor, result latency,
+backpressure drops, per-tenant queue depth — not from wrappers that
+time the protocol layer.  This module provides:
+
+* the instrument primitives (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) and a thread-safe :class:`MetricsRegistry` that
+  renders them in the Prometheus text exposition format
+  (``text/plain; version=0.0.4``);
+* :class:`SessionInstruments` — the hook bundle
+  :meth:`~repro.core.engine.SaberEngine.attach_metrics` installs, which
+  wires three engine-side observation points:
+
+  - :attr:`Measurements.on_task <repro.sim.measurements.Measurements>`
+    — every completed task, on every backend, labelled by query and
+    processor (CPU/GPGPU): task throughput and processed bytes/tuples;
+  - ``Dispatcher.on_task_cut`` — every task the dispatcher cuts:
+    ingest-side dispatch rate and bytes;
+  - ``ResultStage.on_metrics`` — every ordered output chunk: result
+    rows and end-to-end result latency (emit time − data dispatch
+    time; wall-clock seconds on the ``threads``/``processes``
+    backends, virtual seconds on ``sim``).
+
+Gauges support *callback* sampling (``set_function``), which is how
+queue depths and monotonic drop counters maintained elsewhere
+(``PushSource.queued_tuples``, ``PushSource.dropped_tuples``,
+``Dispatcher.shed_tuples``) are exported without touching their hot
+paths at all — the value is read at scrape time.
+
+Every exported series is catalogued, with meaning and unit, in
+``docs/operations.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SessionInstruments",
+    "LATENCY_BUCKETS",
+]
+
+#: default latency histogram bucket upper bounds, in seconds.
+LATENCY_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _label_key(labels: "dict[str, str]") -> "tuple[tuple[str, str], ...]":
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: "tuple[tuple[str, str], ...]") -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Instrument:
+    """Shared shape of all instruments: name, help text, labelled series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, unit: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self.unit = unit
+        self._lock = threading.Lock()
+
+    def header(self) -> "list[str]":
+        """The ``# HELP`` / ``# TYPE`` preamble lines for this series."""
+        return [
+            f"# HELP {self.name} {self.help_text}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+    def render(self) -> "list[str]":
+        """Exposition lines for every labelled series of the instrument."""
+        raise NotImplementedError
+
+    def samples(self) -> "dict[tuple[tuple[str, str], ...], Any]":
+        """A point-in-time snapshot (label key → value), for tests/stats."""
+        raise NotImplementedError
+
+
+class Counter(_Instrument):
+    """A monotonically increasing labelled count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, unit: str = "") -> None:
+        super().__init__(name, help_text, unit)
+        self._values: "dict[tuple[tuple[str, str], ...], float]" = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (default 1) to the series selected by ``labels``."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (0 if never incremented)."""
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every labelled series."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def samples(self) -> "dict[tuple[tuple[str, str], ...], float]":
+        """Snapshot of every labelled count."""
+        with self._lock:
+            return dict(self._values)
+
+    def render(self) -> "list[str]":
+        """Exposition lines, one per labelled series, sorted."""
+        return [
+            f"{self.name}{_render_labels(key)} {_format(value)}"
+            for key, value in sorted(self.samples().items())
+        ]
+
+
+class Gauge(_Instrument):
+    """A point-in-time labelled value; supports callback sampling."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, unit: str = "") -> None:
+        super().__init__(name, help_text, unit)
+        self._values: "dict[tuple[tuple[str, str], ...], float]" = {}
+        self._callbacks: "dict[tuple[tuple[str, str], ...], Callable[[], float]]" = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the series selected by ``labels`` to ``value``."""
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def add(self, amount: float = 1.0, **labels: str) -> None:
+        """Adjust the series by ``amount`` (gauges may go down)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def set_function(self, fn: "Callable[[], float]", **labels: str) -> None:
+        """Sample ``fn()`` at scrape time for the labelled series.
+
+        This is how values maintained elsewhere (queue depths, drop
+        counters) are exported without adding work to their hot paths.
+        A failing callback reports 0 rather than breaking the scrape.
+        """
+        with self._lock:
+            self._callbacks[_label_key(labels)] = fn
+
+    def remove(self, **labels: str) -> None:
+        """Drop a labelled series (e.g. when its tenant is evicted)."""
+        key = _label_key(labels)
+        with self._lock:
+            self._values.pop(key, None)
+            self._callbacks.pop(key, None)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one labelled series (callbacks sampled now)."""
+        return self.samples().get(_label_key(labels), 0.0)
+
+    def samples(self) -> "dict[tuple[tuple[str, str], ...], float]":
+        """Snapshot of every labelled value, sampling callbacks now."""
+        with self._lock:
+            values = dict(self._values)
+            callbacks = dict(self._callbacks)
+        for key, fn in callbacks.items():
+            try:
+                values[key] = float(fn())
+            except Exception:
+                values[key] = 0.0
+        return values
+
+    def render(self) -> "list[str]":
+        """Exposition lines, one per labelled series, sorted."""
+        return [
+            f"{self.name}{_render_labels(key)} {_format(value)}"
+            for key, value in sorted(self.samples().items())
+        ]
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus ``_bucket/_sum/_count``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: "Iterable[float]" = LATENCY_BUCKETS,
+        unit: str = "",
+    ) -> None:
+        super().__init__(name, help_text, unit)
+        self.buckets = tuple(sorted(buckets))
+        self._counts: "dict[tuple[tuple[str, str], ...], list[int]]" = {}
+        self._sums: "dict[tuple[tuple[str, str], ...], float]" = {}
+        self._totals: "dict[tuple[tuple[str, str], ...], int]" = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation into the labelled series."""
+        key = _label_key(labels)
+        index = bisect_right(self.buckets, value)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+            counts[index] += 1
+            self._sums[key] = self._sums.get(key, 0.0) + value
+            self._totals[key] = self._totals.get(key, 0) + 1
+
+    def count(self, **labels: str) -> int:
+        """Number of observations in one labelled series."""
+        with self._lock:
+            return self._totals.get(_label_key(labels), 0)
+
+    def sum(self, **labels: str) -> float:
+        """Sum of observations in one labelled series."""
+        with self._lock:
+            return self._sums.get(_label_key(labels), 0.0)
+
+    def quantile(self, q: float, **labels: str) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the ``q``-th observation); ``inf`` when it falls past the
+        last finite bucket, 0 with no observations."""
+        key = _label_key(labels)
+        with self._lock:
+            counts = list(self._counts.get(key, ()))
+            total = self._totals.get(key, 0)
+        if not total:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for i, n in enumerate(counts):
+            cumulative += n
+            if cumulative >= rank:
+                return self.buckets[i] if i < len(self.buckets) else float("inf")
+        return float("inf")
+
+    def samples(self) -> "dict[tuple[tuple[str, str], ...], dict]":
+        """Snapshot of every labelled series' count/sum/bucket counts."""
+        with self._lock:
+            return {
+                key: {
+                    "count": self._totals.get(key, 0),
+                    "sum": self._sums.get(key, 0.0),
+                    "counts": list(counts),
+                }
+                for key, counts in self._counts.items()
+            }
+
+    def render(self) -> "list[str]":
+        """Exposition lines: cumulative ``_bucket``, ``_sum``, ``_count``."""
+        lines: "list[str]" = []
+        for key, sample in sorted(self.samples().items()):
+            cumulative = 0
+            for bound, n in zip(
+                list(self.buckets) + [float("inf")], sample["counts"]
+            ):
+                cumulative += n
+                bucket_key = key + (("le", _format(bound)),)
+                lines.append(
+                    f"{self.name}_bucket{_render_labels(bucket_key)} {cumulative}"
+                )
+            lines.append(
+                f"{self.name}_sum{_render_labels(key)} {_format(sample['sum'])}"
+            )
+            lines.append(f"{self.name}_count{_render_labels(key)} {sample['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """Thread-safe instrument registry with Prometheus text rendering.
+
+    Instruments are get-or-create by name (re-registration with a
+    different kind raises), so independent components can share series
+    without coordination — the server, the per-tenant instrument
+    bundles, and the benchmark all write into one registry.
+    """
+
+    #: the content type Prometheus scrapers expect.
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: "dict[str, _Instrument]" = {}
+
+    def _get_or_create(self, cls: type, name: str, *args: Any, **kwargs: Any):
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            instrument = cls(name, *args, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get or create the named :class:`Counter`."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get or create the named :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: "Iterable[float]" = LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create the named :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help_text, buckets)
+
+    def instruments(self) -> "list[_Instrument]":
+        """Registered instruments, sorted by name."""
+        with self._lock:
+            return [self._instruments[n] for n in sorted(self._instruments)]
+
+    def render(self) -> str:
+        """The full registry in Prometheus text exposition format."""
+        lines: "list[str]" = []
+        for instrument in self.instruments():
+            lines.extend(instrument.header())
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> "dict[str, dict]":
+        """Point-in-time ``{name: {label_key: value}}`` view, for tests
+        and the ``--stats`` log line (callback gauges sampled now)."""
+        return {i.name: i.samples() for i in self.instruments()}
+
+
+class SessionInstruments:
+    """The hook bundle wiring one session's engine into a registry.
+
+    One bundle per tenant session, all writing into the server's shared
+    :class:`MetricsRegistry` with a ``tenant`` label::
+
+        session = SaberSession(execution="threads", cpu_workers=4)
+        session.attach_metrics(SessionInstruments(registry, tenant="acme"))
+
+    The bundle implements the two methods
+    :meth:`~repro.core.engine.SaberEngine.attach_metrics` calls —
+    ``wire_engine`` (once) and ``wire_run`` (per registered query,
+    existing and future) — and exports this series set:
+
+    * ``saber_tasks_completed_total{tenant,query,processor}``
+    * ``saber_task_bytes_total{tenant,query,processor}`` /
+      ``saber_task_tuples_total{...}`` — processed volume, the basis of
+      per-backend task throughput;
+    * ``saber_tasks_dispatched_total{tenant,query}`` /
+      ``saber_dispatched_bytes_total{tenant,query}`` — ingest-side cuts;
+    * ``saber_result_chunks_total{tenant,query}`` /
+      ``saber_result_rows_total{tenant,query}``;
+    * ``saber_result_latency_seconds{tenant,query}`` (histogram) —
+      emit time − task dispatch time;
+    * ``saber_buffer_shed_tuples_total{tenant,query}`` — engine-buffer
+      load shedding under ``drop_oldest`` (callback-sampled gauge).
+    """
+
+    def __init__(self, registry: MetricsRegistry, tenant: str = "default") -> None:
+        self.registry = registry
+        self.tenant = tenant
+        self.tasks_completed = registry.counter(
+            "saber_tasks_completed_total",
+            "Query tasks completed, by query and processor.",
+        )
+        self.task_bytes = registry.counter(
+            "saber_task_bytes_total",
+            "Input bytes of completed query tasks.",
+        )
+        self.task_tuples = registry.counter(
+            "saber_task_tuples_total",
+            "Input tuples of completed query tasks.",
+        )
+        self.tasks_dispatched = registry.counter(
+            "saber_tasks_dispatched_total",
+            "Query tasks cut by the dispatcher.",
+        )
+        self.dispatched_bytes = registry.counter(
+            "saber_dispatched_bytes_total",
+            "Bytes the dispatcher moved into circular input buffers.",
+        )
+        self.result_chunks = registry.counter(
+            "saber_result_chunks_total",
+            "Ordered output chunks emitted by the result stage.",
+        )
+        self.result_rows = registry.counter(
+            "saber_result_rows_total",
+            "Output rows emitted by the result stage.",
+        )
+        self.result_latency = registry.histogram(
+            "saber_result_latency_seconds",
+            "Result latency: chunk emit time minus task dispatch time.",
+        )
+        self.shed_tuples = registry.gauge(
+            "saber_buffer_shed_tuples_total",
+            "Tuples shed at the circular buffers under drop_oldest.",
+        )
+
+    # -- the attach_metrics protocol -------------------------------------------
+
+    def wire_engine(self, engine: Any) -> None:
+        """Install the per-task completion hook (all backends share it)."""
+        engine.measurements.on_task = self._on_task
+
+    def wire_run(self, run: Any) -> None:
+        """Install dispatcher/result-stage hooks for one registered query."""
+        query = run.query.name
+        run.dispatcher.on_task_cut = (
+            lambda task, _q=query: self._on_task_cut(_q, task)
+        )
+        run.result_stage.on_metrics = (
+            lambda record, _q=query: self._on_emit(_q, record)
+        )
+        self.shed_tuples.set_function(
+            lambda d=run.dispatcher: d.shed_tuples, tenant=self.tenant, query=query
+        )
+
+    # -- hot-path hooks ---------------------------------------------------------
+
+    def _on_task(self, record: Any) -> None:
+        labels = {
+            "tenant": self.tenant,
+            "query": record.query,
+            "processor": record.processor,
+        }
+        self.tasks_completed.inc(**labels)
+        self.task_bytes.inc(record.input_bytes, **labels)
+        self.task_tuples.inc(record.input_tuples, **labels)
+
+    def _on_task_cut(self, query: str, task: Any) -> None:
+        self.tasks_dispatched.inc(tenant=self.tenant, query=query)
+        self.dispatched_bytes.inc(
+            task.size_bytes, tenant=self.tenant, query=query
+        )
+
+    def _on_emit(self, query: str, record: Any) -> None:
+        self.result_chunks.inc(tenant=self.tenant, query=query)
+        self.result_rows.inc(len(record.rows), tenant=self.tenant, query=query)
+        self.result_latency.observe(
+            max(record.emit_time - record.data_time, 0.0),
+            tenant=self.tenant,
+            query=query,
+        )

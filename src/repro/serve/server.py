@@ -1,0 +1,476 @@
+"""The ``repro serve`` daemon: a long-lived multi-tenant query server.
+
+One process hosts many tenants, each with its own
+:class:`~repro.serve.tenants.Tenant` session, behind a single TCP
+listener speaking the newline-delimited JSON frame protocol
+(:mod:`repro.serve.protocol`).  A connection opens with a ``hello``
+frame naming its tenant; connections from the same tenant share that
+tenant's session, streams and queries, so a producer connection can
+push while a consumer connection drains ``results``.
+
+Admission control is two-level: the server caps distinct tenants
+(:attr:`ServeConfig.max_sessions`) and every tenant carries
+:class:`~repro.serve.tenants.TenantQuotas` bounding its queries,
+streams, ingress capacity and result backlog.  Exceeding either
+returns a ``quota`` error frame — the connection stays usable.
+
+Observability is served out-of-band: a Prometheus-style text endpoint
+(``/metrics`` on :attr:`ServeConfig.metrics_port`, with ``/healthz``
+for liveness) scraping the shared
+:class:`~repro.serve.metrics.MetricsRegistry`, and an optional
+periodic ``--stats`` log line.
+
+Shutdown is graceful by default: :meth:`SaberServer.shutdown` (or a
+SIGTERM/SIGINT under :meth:`SaberServer.serve_forever`) stops
+admitting data, closes every open stream (end-of-stream), lets each
+tenant's run drain its queued tail and flush windows, then releases
+engine resources — including the processes backend's shared-memory
+segments under ``/dev/shm``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..errors import SaberError
+from .metrics import MetricsRegistry
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    chunk_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_frame,
+)
+from .tenants import Tenant, TenantQuotas
+
+__all__ = ["ServeConfig", "SaberServer"]
+
+logger = logging.getLogger("repro.serve")
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Daemon configuration (the ``repro serve`` CLI mirrors it 1:1)."""
+
+    #: listen address; bind port 0 for an ephemeral port (tests).
+    host: str = "127.0.0.1"
+    port: int = 7070
+    #: Prometheus endpoint port (``None`` disables it; 0 = ephemeral).
+    metrics_port: "int | None" = None
+    #: distinct tenants admitted concurrently.
+    max_sessions: int = 64
+    #: per-tenant resource quotas.
+    quotas: TenantQuotas = dataclasses.field(default_factory=TenantQuotas)
+    #: execution backend for tenant sessions (``threads``/``processes``/
+    #: ``sim`` — serving wants wall-clock backends).
+    execution: str = "threads"
+    #: seconds between ``--stats`` log lines (``None`` disables them).
+    stats_interval: "float | None" = None
+    #: graceful-drain backstop per tenant on shutdown, in seconds.
+    drain_timeout: float = 30.0
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """Serves ``/metrics`` (Prometheus text) and ``/healthz``."""
+
+    registry: MetricsRegistry  # injected via the dynamic subclass
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Answer a scrape: the registry rendering, or a liveness ack."""
+        if self.path.split("?")[0] == "/metrics":
+            body = self.registry.render().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", MetricsRegistry.CONTENT_TYPE)
+        elif self.path.split("?")[0] == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = b"not found\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Route access logs to the library logger (debug level)."""
+        logger.debug("metrics: " + format, *args)
+
+
+class SaberServer:
+    """The serving daemon: listener, tenant registry, metrics endpoint."""
+
+    def __init__(
+        self,
+        config: "ServeConfig | None" = None,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry or MetricsRegistry()
+        self._lock = threading.Lock()
+        self._tenants: "dict[str, Tenant]" = {}
+        self._connections: "set[socket.socket]" = set()
+        self._threads: "list[threading.Thread]" = []
+        self._listener: "socket.socket | None" = None
+        self._metrics_server: "ThreadingHTTPServer | None" = None
+        self._stats_stop = threading.Event()
+        self._shutdown_signal = threading.Event()
+        self._draining = False
+        self._closed = False
+        self.connections_gauge = self.registry.gauge(
+            "saber_server_connections",
+            "Open client connections.",
+        )
+        self.tenants_gauge = self.registry.gauge(
+            "saber_server_tenants",
+            "Admitted tenant sessions.",
+        )
+        self.frames_total = self.registry.counter(
+            "saber_server_frames_total",
+            "Client frames processed, by frame type.",
+        )
+        self.errors_total = self.registry.counter(
+            "saber_server_errors_total",
+            "Error frames returned, by error code.",
+        )
+        self.tenants_gauge.set_function(lambda: len(self._tenants))
+        self.connections_gauge.set_function(lambda: len(self._connections))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "SaberServer":
+        """Bind the listener (and metrics endpoint) and begin accepting."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.config.host, self.config.port))
+        listener.listen(512)
+        self._listener = listener
+        accept = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True
+        )
+        accept.start()
+        self._threads.append(accept)
+        if self.config.metrics_port is not None:
+            handler = type(
+                "BoundMetricsHandler",
+                (_MetricsHandler,),
+                {"registry": self.registry},
+            )
+            self._metrics_server = ThreadingHTTPServer(
+                (self.config.host, self.config.metrics_port), handler
+            )
+            self._metrics_server.daemon_threads = True
+            scrape = threading.Thread(
+                target=self._metrics_server.serve_forever,
+                name="serve-metrics",
+                daemon=True,
+            )
+            scrape.start()
+            self._threads.append(scrape)
+        if self.config.stats_interval:
+            stats = threading.Thread(
+                target=self._stats_loop, name="serve-stats", daemon=True
+            )
+            stats.start()
+            self._threads.append(stats)
+        logger.info(
+            "repro serve listening on %s:%d (metrics: %s)",
+            *self.address,
+            "%s:%d" % self.metrics_address if self.metrics_address else "off",
+        )
+        return self
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound listen address (resolves an ephemeral port 0)."""
+        assert self._listener is not None, "server not started"
+        return self._listener.getsockname()[:2]
+
+    @property
+    def metrics_address(self) -> "tuple[str, int] | None":
+        """The bound metrics address, or ``None`` when disabled."""
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.server_address[:2]
+
+    def install_signal_handlers(self) -> None:
+        """Arrange for SIGTERM/SIGINT to trigger a graceful drain (only
+        callable from the main thread; :meth:`serve_forever` then
+        returns after the drain completes)."""
+        import signal
+
+        def _on_signal(signum: int, frame: Any) -> None:
+            logger.info("signal %d: draining", signum)
+            self._shutdown_signal.set()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    def serve_forever(self) -> None:
+        """Block until a shutdown signal, then drain gracefully."""
+        self._shutdown_signal.wait()
+        self.shutdown(drain=True)
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Stop the daemon.  With ``drain=True`` (the graceful path):
+        stop admitting new data, end every open stream, let tenants
+        process their queued tails and flush windows, then release
+        engine resources and close all sockets.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._draining = True
+            if not drain:
+                self._closed = True
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            try:
+                tenant.shutdown(
+                    drain=drain, drain_timeout=self.config.drain_timeout
+                )
+            except SaberError as exc:
+                logger.warning("tenant %r drain: %s", tenant.name, exc)
+        with self._lock:
+            self._closed = True
+            connections = list(self._connections)
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._metrics_server is not None:
+            self._metrics_server.shutdown()
+            self._metrics_server.server_close()
+        self._stats_stop.set()
+        self._shutdown_signal.set()
+        logger.info("repro serve stopped (%d tenants drained)", len(tenants))
+
+    def __enter__(self) -> "SaberServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # -- admission -------------------------------------------------------------
+
+    def admit(
+        self, name: str, quotas: "TenantQuotas | None" = None
+    ) -> Tenant:
+        """Get or create the named tenant, enforcing the session cap."""
+        with self._lock:
+            if self._draining:
+                raise ProtocolError(
+                    "shutting-down", "the server is draining; try again later"
+                )
+            tenant = self._tenants.get(name)
+            if tenant is not None:
+                return tenant
+            if len(self._tenants) >= self.config.max_sessions:
+                raise ProtocolError(
+                    "quota",
+                    f"the server is at its session cap "
+                    f"({self.config.max_sessions} tenants)",
+                )
+            tenant = Tenant(
+                name,
+                quotas or self.config.quotas,
+                self.registry,
+                execution=self.config.execution,
+            )
+            self._tenants[name] = tenant
+            logger.info("admitted tenant %r", name)
+            return tenant
+
+    # -- server statistics -----------------------------------------------------
+
+    def stats(self) -> "dict[str, Any]":
+        """A point-in-time snapshot for ``stats`` frames and log lines."""
+        with self._lock:
+            tenants = list(self._tenants.values())
+            connections = len(self._connections)
+        return {
+            "connections": connections,
+            "tenants": [t.stats() for t in tenants],
+            "frames": {
+                "/".join(k for _, k in key): value
+                for key, value in self.frames_total.samples().items()
+            },
+            "errors": {
+                "/".join(k for _, k in key): value
+                for key, value in self.errors_total.samples().items()
+            },
+        }
+
+    def _stats_loop(self) -> None:
+        while not self._stats_stop.wait(self.config.stats_interval):
+            snapshot = self.stats()
+            ingest = self.registry.counter("saber_ingest_rows_total").total()
+            rows = self.registry.counter("saber_result_rows_total").total()
+            tasks = self.registry.counter("saber_tasks_completed_total").total()
+            logger.info(
+                "stats: connections=%d tenants=%d ingest_rows=%d "
+                "result_rows=%d tasks=%d errors=%d",
+                snapshot["connections"],
+                len(snapshot["tenants"]),
+                int(ingest),
+                int(rows),
+                int(tasks),
+                int(self.errors_total.total()),
+            )
+
+    # -- the accept/connection loops -------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while True:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    return
+                self._connections.add(conn)
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="serve-conn",
+                daemon=True,
+            )
+            worker.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """One client connection: hello-first admission, then frames."""
+        tenant: "Tenant | None" = None
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            reader = conn.makefile("rb")
+            while True:
+                raw = reader.readline(MAX_FRAME_BYTES + 2)
+                if not raw:
+                    return  # client went away
+                if len(raw) > MAX_FRAME_BYTES and not raw.endswith(b"\n"):
+                    # An oversized line cannot be resynchronised reliably;
+                    # report and end the connection.
+                    self._send(
+                        conn,
+                        error_frame(
+                            "frame-too-large",
+                            f"frame exceeds {MAX_FRAME_BYTES} bytes",
+                        ),
+                    )
+                    return
+                try:
+                    frame = parse_frame(raw)
+                except ProtocolError as exc:
+                    self.errors_total.inc(code=exc.code)
+                    self._send(conn, error_frame(exc.code, str(exc)))
+                    continue
+                self.frames_total.inc(type=frame["type"])
+                if frame["type"] == "close" and "stream" not in frame:
+                    self._send(conn, ok_frame(bye=True))
+                    return
+                try:
+                    if tenant is None and frame["type"] != "hello":
+                        raise ProtocolError(
+                            "bad-frame",
+                            "the first frame must be 'hello' naming a tenant",
+                        )
+                    tenant = self._handle(conn, tenant, frame)
+                except ProtocolError as exc:
+                    self.errors_total.inc(code=exc.code)
+                    self._send(conn, error_frame(exc.code, str(exc)))
+                except SaberError as exc:
+                    self.errors_total.inc(code="internal")
+                    self._send(conn, error_frame("internal", str(exc)))
+        except (OSError, ValueError):
+            return  # connection torn down mid-frame
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _handle(
+        self, conn: socket.socket, tenant: "Tenant | None", frame: "dict[str, Any]"
+    ) -> "Tenant | None":
+        """Dispatch one parsed frame; returns the connection's tenant."""
+        kind = frame["type"]
+        if kind == "ping":
+            self._send(conn, ok_frame(pong=True))
+            return tenant
+        if kind == "hello":
+            tenant = self.admit(frame["tenant"])
+            self._send(
+                conn,
+                ok_frame(
+                    server="repro-serve",
+                    version=PROTOCOL_VERSION,
+                    tenant=tenant.name,
+                ),
+            )
+            return tenant
+        assert tenant is not None  # enforced by the caller
+        if kind == "stats":
+            self._send(conn, ok_frame(stats=self.stats()))
+            return tenant
+        if self._draining and kind in ("register", "submit", "push"):
+            raise ProtocolError(
+                "shutting-down", "the server is draining; no new work admitted"
+            )
+        if kind == "register":
+            fields = tenant.register(
+                frame["stream"],
+                frame["schema"],
+                capacity=frame.get("capacity"),
+                policy=frame.get("policy"),
+            )
+            self._send(conn, ok_frame(**fields))
+        elif kind == "submit":
+            fields = tenant.submit(frame["cql"], name=frame.get("name"))
+            self._send(conn, ok_frame(**fields))
+        elif kind == "push":
+            accepted = tenant.push(frame["stream"], frame["rows"])
+            self._send(conn, ok_frame(accepted=accepted))
+        elif kind == "results":
+            chunks, done = tenant.results(
+                frame["query"],
+                max_chunks=frame.get("max_chunks", 16),
+                timeout=float(frame.get("timeout", 5.0)),
+            )
+            for rows in chunks:
+                self._send(conn, chunk_frame(frame["query"], rows))
+            self._send(
+                conn, ok_frame(query=frame["query"], chunks=len(chunks), done=done)
+            )
+        elif kind == "close":
+            tenant.close_stream(frame["stream"])
+            self._send(conn, ok_frame(stream=frame["stream"], closed=True))
+        else:  # pragma: no cover - parse_frame already rejects unknowns
+            raise ProtocolError("unknown-type", f"unhandled frame type {kind!r}")
+        return tenant
+
+    @staticmethod
+    def _send(conn: socket.socket, frame: "dict[str, Any]") -> None:
+        conn.sendall(encode_frame(frame))

@@ -35,6 +35,10 @@ class Measurements:
 
     records: "list[TaskRecord]" = field(default_factory=list)
     latencies: "list[float]" = field(default_factory=list)
+    #: optional observability hook (:meth:`SaberEngine.attach_metrics`):
+    #: called with every completed :class:`TaskRecord`, on the completing
+    #: worker's thread, outside the accounting lock — it must be cheap.
+    on_task: "object | None" = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -42,6 +46,8 @@ class Measurements:
     def record_task(self, record: TaskRecord) -> None:
         with self._lock:
             self.records.append(record)
+        if self.on_task is not None:
+            self.on_task(record)
 
     def record_latency(self, emit_time: float, data_time: float) -> None:
         with self._lock:

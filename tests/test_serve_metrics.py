@@ -1,0 +1,193 @@
+"""Metrics-layer tests: instruments, Prometheus rendering, and the
+engine hook bundle observing the real hot path."""
+
+import threading
+
+import pytest
+
+from repro.api import SaberSession
+from repro.io import PushSource
+from repro.relational.schema import Schema
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SessionInstruments,
+)
+
+SCHEMA = Schema.parse("timestamp:long, value:float", name="s")
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "help")
+        counter.inc(tenant="a")
+        counter.inc(2.0, tenant="a")
+        counter.inc(5.0, tenant="b")
+        assert counter.value(tenant="a") == 3.0
+        assert counter.value(tenant="b") == 5.0
+        assert counter.value(tenant="missing") == 0.0
+        assert counter.total() == 8.0
+
+    def test_render(self):
+        counter = Counter("c_total", "things counted")
+        counter.inc(3, tenant="a", query="q")
+        lines = counter.header() + counter.render()
+        assert "# HELP c_total things counted" in lines
+        assert "# TYPE c_total counter" in lines
+        assert 'c_total{query="q",tenant="a"} 3' in lines
+
+    def test_thread_safety(self):
+        counter = Counter("c_total", "")
+        threads = [
+            threading.Thread(
+                target=lambda: [counter.inc(tenant="t") for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value(tenant="t") == 8000
+
+
+class TestGauge:
+    def test_set_add_remove(self):
+        gauge = Gauge("g", "")
+        gauge.set(4.0, stream="s")
+        gauge.add(-1.5, stream="s")
+        assert gauge.value(stream="s") == 2.5
+        gauge.remove(stream="s")
+        assert gauge.value(stream="s") == 0.0
+
+    def test_callback_sampling(self):
+        gauge = Gauge("g", "")
+        depth = {"value": 7}
+        gauge.set_function(lambda: depth["value"], stream="s")
+        assert gauge.value(stream="s") == 7.0
+        depth["value"] = 11
+        assert gauge.value(stream="s") == 11.0
+
+    def test_failing_callback_reports_zero(self):
+        gauge = Gauge("g", "")
+        gauge.set_function(lambda: 1 / 0, stream="s")
+        assert gauge.value(stream="s") == 0.0
+        assert 'g{stream="s"} 0' in gauge.render()
+
+
+class TestHistogram:
+    def test_observe_count_sum(self):
+        hist = Histogram("h_seconds", "", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value, query="q")
+        assert hist.count(query="q") == 3
+        assert hist.sum(query="q") == pytest.approx(5.55)
+
+    def test_cumulative_buckets_and_inf(self):
+        hist = Histogram("h_seconds", "", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value, query="q")
+        lines = hist.render()
+        assert 'h_seconds_bucket{query="q",le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{query="q",le="1"} 2' in lines
+        assert 'h_seconds_bucket{query="q",le="+Inf"} 3' in lines
+        assert 'h_seconds_count{query="q"} 3' in lines
+
+    def test_quantile_estimate(self):
+        hist = Histogram("h", "", buckets=(0.1, 1.0, 10.0))
+        for _ in range(99):
+            hist.observe(0.05)
+        hist.observe(5.0)
+        assert hist.quantile(0.5) == 0.1
+        assert hist.quantile(0.999) == 10.0
+        assert Histogram("empty", "").quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a_total") is registry.counter("a_total")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("a_total")
+
+    def test_render_is_sorted_and_terminated(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "z").inc()
+        registry.gauge("a_depth", "a").set(1)
+        text = registry.render()
+        assert text.endswith("\n")
+        assert text.index("a_depth") < text.index("z_total")
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(tenant='we"ird\nname')
+        assert 'tenant="we\\"ird\\nname"' in registry.render()
+
+
+class TestSessionInstruments:
+    """The hook bundle observes real engine activity, not wrappers."""
+
+    def run_session(self, registry, tenant="t", rows=512):
+        session = SaberSession(
+            execution="threads",
+            cpu_workers=2,
+            use_gpu=False,
+            collect_output=False,
+            task_size_bytes=1 << 10,
+        )
+        session.attach_metrics(SessionInstruments(registry, tenant=tenant))
+        source = PushSource(SCHEMA)
+        session.register_stream("s", source)
+        handle = session.sql(
+            "select timestamp, sum(value) as total from s [rows 64 slide 64]",
+            name="q",
+        )
+        session.start()
+        session.push("s", [{"timestamp": i, "value": 1.0} for i in range(rows)])
+        source.close()
+        consumed = sum(
+            int(chunk.data["total"].sum()) for chunk in handle.results()
+        )
+        session.stop()
+        session.close()
+        return consumed
+
+    def test_hot_path_series_populate(self):
+        registry = MetricsRegistry()
+        consumed = self.run_session(registry)
+        assert consumed == 512
+        tasks = registry.counter("saber_tasks_completed_total")
+        assert tasks.value(tenant="t", query="q", processor="CPU") > 0
+        tuples = registry.counter("saber_task_tuples_total")
+        assert tuples.value(tenant="t", query="q", processor="CPU") == 512
+        dispatched = registry.counter("saber_tasks_dispatched_total")
+        assert dispatched.value(tenant="t", query="q") > 0
+        chunks = registry.counter("saber_result_chunks_total")
+        assert chunks.value(tenant="t", query="q") > 0
+        rows = registry.counter("saber_result_rows_total")
+        assert rows.value(tenant="t", query="q") == 512 // 64
+        latency = registry.histogram("saber_result_latency_seconds")
+        assert latency.count(tenant="t", query="q") > 0
+
+    def test_two_tenants_share_one_registry(self):
+        registry = MetricsRegistry()
+        self.run_session(registry, tenant="a", rows=128)
+        self.run_session(registry, tenant="b", rows=64)
+        tuples = registry.counter("saber_task_tuples_total")
+        assert tuples.value(tenant="a", query="q", processor="CPU") == 128
+        assert tuples.value(tenant="b", query="q", processor="CPU") == 64
+
+    def test_queries_submitted_after_attach_are_wired(self):
+        # attach_metrics installs wire_run for future queries too: this
+        # is the serve admission order (attach at admit, submit later).
+        registry = MetricsRegistry()
+        consumed = self.run_session(registry, tenant="late")
+        dispatched = registry.counter("saber_tasks_dispatched_total")
+        assert consumed == 512
+        assert dispatched.value(tenant="late", query="q") > 0

@@ -1,0 +1,130 @@
+"""Wire-protocol tests: frame parse/serialise round-trips and typed
+rejection of malformed frames."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    chunk_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_frame,
+)
+
+
+def roundtrip(frame):
+    return parse_frame(encode_frame(frame))
+
+
+class TestRoundTrips:
+    def test_hello(self):
+        assert roundtrip({"type": "hello", "tenant": "acme"}) == {
+            "type": "hello",
+            "tenant": "acme",
+        }
+
+    def test_register_with_options(self):
+        frame = {
+            "type": "register",
+            "stream": "trades",
+            "schema": "timestamp:long, price:float",
+            "capacity": 1024,
+            "policy": "drop_oldest",
+        }
+        assert roundtrip(frame) == frame
+
+    def test_push_rows_survive(self):
+        rows = [{"timestamp": 1, "price": 2.5}, {"timestamp": 2, "price": 3.0}]
+        frame = roundtrip({"type": "push", "stream": "trades", "rows": rows})
+        assert frame["rows"] == rows
+
+    def test_results_with_timeout(self):
+        frame = {"type": "results", "query": "q0", "max_chunks": 4, "timeout": 0.5}
+        assert roundtrip(frame) == frame
+
+    def test_close_bare_and_with_stream(self):
+        assert roundtrip({"type": "close"}) == {"type": "close"}
+        assert roundtrip({"type": "close", "stream": "s"})["stream"] == "s"
+
+    def test_parse_accepts_str_and_bytes(self):
+        as_text = parse_frame('{"type": "ping"}')
+        as_bytes = parse_frame(b'{"type": "ping"}\n')
+        assert as_text == as_bytes == {"type": "ping"}
+
+    def test_encode_is_one_json_line(self):
+        data = encode_frame(ok_frame(accepted=3))
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data) == {"type": "ok", "accepted": 3}
+
+    def test_unknown_extra_fields_are_tolerated(self):
+        frame = roundtrip({"type": "ping", "trace_id": "abc"})
+        assert frame["trace_id"] == "abc"
+
+
+class TestMalformedFrames:
+    def expect_code(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_frame(line)
+        assert err.value.code == code
+        return err.value
+
+    def test_invalid_json(self):
+        self.expect_code("{not json", "bad-json")
+
+    def test_invalid_utf8(self):
+        self.expect_code(b"\xff\xfe{}", "bad-json")
+
+    def test_empty_line(self):
+        self.expect_code("   \n", "bad-frame")
+
+    def test_non_object(self):
+        self.expect_code("[1, 2, 3]", "bad-frame")
+
+    def test_missing_type(self):
+        self.expect_code('{"tenant": "acme"}', "bad-frame")
+
+    def test_non_string_type(self):
+        self.expect_code('{"type": 7}', "bad-frame")
+
+    def test_unknown_type_lists_known_ones(self):
+        error = self.expect_code('{"type": "subscribe"}', "unknown-type")
+        assert "hello" in str(error)
+
+    def test_missing_required_field(self):
+        self.expect_code('{"type": "hello"}', "bad-field")
+        self.expect_code('{"type": "push", "stream": "s"}', "bad-field")
+
+    def test_wrong_field_type(self):
+        self.expect_code('{"type": "hello", "tenant": 5}', "bad-field")
+        self.expect_code(
+            '{"type": "push", "stream": "s", "rows": "not-a-list"}', "bad-field"
+        )
+
+    def test_bool_rejected_for_int_field(self):
+        self.expect_code(
+            '{"type": "results", "query": "q", "max_chunks": true}', "bad-field"
+        )
+
+    def test_oversized_frame(self):
+        line = '{"type": "push", "rows": [' + "1," * MAX_FRAME_BYTES
+        self.expect_code(line, "frame-too-large")
+
+
+class TestServerFrames:
+    def test_error_frame_shape(self):
+        assert error_frame("quota", "too many") == {
+            "type": "error",
+            "code": "quota",
+            "message": "too many",
+        }
+
+    def test_chunk_frame_shape(self):
+        frame = chunk_frame("q0", [{"total": 1.0}])
+        assert frame["type"] == "chunk"
+        assert frame["query"] == "q0"
+        assert frame["rows"] == [{"total": 1.0}]

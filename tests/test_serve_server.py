@@ -1,0 +1,277 @@
+"""End-to-end serving-daemon tests over real sockets.
+
+Every test binds ephemeral ports (port 0) and uses the blocking
+:class:`~repro.serve.client.ServeClient`; the SIGTERM test runs the
+actual ``python -m repro serve`` process and asserts a graceful drain.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    ProtocolError,
+    SaberServer,
+    ServeClient,
+    ServeConfig,
+    TenantQuotas,
+)
+
+SCHEMA = "timestamp:long, value:float"
+SUM_CQL = "select timestamp, sum(value) as total from {stream} [rows 64 slide 64]"
+
+
+@pytest.fixture
+def server():
+    config = ServeConfig(port=0, metrics_port=0, stats_interval=None)
+    with SaberServer(config) as srv:
+        yield srv
+
+
+def connect(server, tenant="default", **kwargs):
+    host, port = server.address
+    return ServeClient(host, port, tenant=tenant, **kwargs)
+
+
+def push_rows(client, stream, n, start=0):
+    client.push(
+        stream,
+        [{"timestamp": start + i, "value": 1.0} for i in range(n)],
+    )
+
+
+def drain_total(client, query, deadline=30.0):
+    """Sum the ``total`` column over every chunk until the query is done."""
+    total = 0.0
+    end = time.monotonic() + deadline
+    done = False
+    while not done:
+        assert time.monotonic() < end, "query did not complete in time"
+        chunks, done = client.results(query, timeout=2.0)
+        for rows in chunks:
+            total += sum(r["total"] for r in rows)
+    return total
+
+
+class TestEndToEnd:
+    def test_push_close_drain_exact_sum(self, server):
+        with connect(server, "acme") as client:
+            assert client.server_info["tenant"] == "acme"
+            client.register("trades", SCHEMA)
+            client.submit(SUM_CQL.format(stream="trades"), name="sums")
+            for round_ in range(4):
+                push_rows(client, "trades", 256, start=round_ * 256)
+            client.close_stream("trades")
+            assert drain_total(client, "sums") == 1024.0
+
+    def test_submit_reports_output_schema(self, server):
+        with connect(server) as client:
+            client.register("s", SCHEMA)
+            reply = client.submit(SUM_CQL.format(stream="s"), name="q")
+            assert reply["schema"] == "timestamp:long, total:float"
+
+    def test_two_tenants_are_isolated(self, server):
+        with connect(server, "a") as first, connect(server, "b") as second:
+            for client, stream in ((first, "s"), (second, "s")):
+                client.register(stream, SCHEMA)
+                client.submit(SUM_CQL.format(stream=stream), name="q")
+            push_rows(first, "s", 128)
+            push_rows(second, "s", 64)
+            first.close_stream("s")
+            second.close_stream("s")
+            assert drain_total(first, "q") == 128.0
+            assert drain_total(second, "q") == 64.0
+
+    def test_two_connections_share_one_tenant(self, server):
+        with connect(server, "shared") as producer:
+            producer.register("s", SCHEMA)
+            producer.submit(SUM_CQL.format(stream="s"), name="q")
+            with connect(server, "shared") as consumer:
+                push_rows(producer, "s", 192)
+                producer.close_stream("s")
+                assert drain_total(consumer, "q") == 192.0
+
+    def test_ping_and_stats(self, server):
+        with connect(server, "acme") as client:
+            assert client.ping()
+            client.register("s", SCHEMA)
+            stats = client.stats()
+            tenants = {t["tenant"] for t in stats["tenants"]}
+            assert "acme" in tenants
+
+    def test_metrics_endpoint_scrapes(self, server):
+        with connect(server, "acme") as client:
+            client.register("s", SCHEMA)
+            client.submit(SUM_CQL.format(stream="s"), name="q")
+            push_rows(client, "s", 128)
+            client.close_stream("s")
+            drain_total(client, "q")
+        host, port = server.metrics_address
+        with urllib.request.urlopen(f"http://{host}:{port}/metrics") as reply:
+            assert "version=0.0.4" in reply.headers["Content-Type"]
+            text = reply.read().decode()
+        assert 'saber_ingest_rows_total{stream="s",tenant="acme"} 128' in text
+        assert "saber_result_latency_seconds_bucket" in text
+        with urllib.request.urlopen(f"http://{host}:{port}/healthz") as reply:
+            assert reply.read() == b"ok\n"
+
+
+class TestErrorFrames:
+    def expect_code(self, code, fn, *args, **kwargs):
+        with pytest.raises(ProtocolError) as err:
+            fn(*args, **kwargs)
+        assert err.value.code == code
+
+    def test_hello_must_come_first(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b'{"type": "ping"}\n')
+            reply = json.loads(sock.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert reply["code"] == "bad-frame"
+
+    def test_malformed_json_keeps_connection_usable(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"{broken\n")
+            assert json.loads(reader.readline())["code"] == "bad-json"
+            sock.sendall(b'{"type": "hello", "tenant": "t"}\n')
+            assert json.loads(reader.readline())["type"] == "ok"
+
+    def test_unknown_stream_and_query(self, server):
+        with connect(server) as client:
+            self.expect_code("unknown-stream", client.push, "ghost", [{}])
+            self.expect_code("unknown-query", client.results, "ghost")
+
+    def test_bad_schema_and_bad_cql(self, server):
+        with connect(server) as client:
+            self.expect_code("bad-schema", client.register, "s", "value:decimal")
+            client.register("s", SCHEMA)
+            self.expect_code("bad-cql", client.submit, "selcet nothing")
+
+    def test_query_quota_returns_error_frame(self):
+        config = ServeConfig(
+            port=0, quotas=TenantQuotas(max_queries=1, max_streams=1)
+        )
+        with SaberServer(config) as server, connect(server) as client:
+            client.register("s", SCHEMA)
+            self.expect_code("quota", client.register, "s2", SCHEMA)
+            client.submit(SUM_CQL.format(stream="s"), name="q0")
+            self.expect_code(
+                "quota", client.submit, SUM_CQL.format(stream="s"), name="q1"
+            )
+            # The connection survives quota refusals.
+            assert client.ping()
+
+    def test_session_cap_refuses_new_tenants(self):
+        with SaberServer(ServeConfig(port=0, max_sessions=1)) as server:
+            with connect(server, "first") as client:
+                assert client.ping()
+                with pytest.raises(ProtocolError) as err:
+                    connect(server, "second")
+                assert err.value.code == "quota"
+
+    def test_submit_after_activation_is_refused(self, server):
+        with connect(server) as client:
+            client.register("s", SCHEMA)
+            client.submit(SUM_CQL.format(stream="s"), name="q")
+            push_rows(client, "s", 64)   # activates the session
+            self.expect_code(
+                "session-active",
+                client.submit,
+                SUM_CQL.format(stream="s"),
+                name="late",
+            )
+            self.expect_code("session-active", client.register, "s2", SCHEMA)
+
+    def test_backpressure_error_policy(self, server):
+        with connect(server) as client:
+            client.register("s", SCHEMA, capacity=64, policy="error")
+            client.submit(SUM_CQL.format(stream="s"), name="q")
+            # A push larger than the queue capacity can never fit: under
+            # the error policy it must be refused with a typed frame
+            # rather than blocking the connection.
+            self.expect_code(
+                "backpressure",
+                client.push,
+                "s",
+                [{"timestamp": i, "value": 1.0} for i in range(128)],
+            )
+
+    def test_push_after_close_is_typed(self, server):
+        with connect(server) as client:
+            client.register("s", SCHEMA)
+            client.submit(SUM_CQL.format(stream="s"), name="q")
+            client.close_stream("s")
+            self.expect_code("closed", client.push, "s", [{"timestamp": 1, "value": 1.0}])
+
+
+class TestGracefulShutdown:
+    def test_drain_flushes_queued_data(self):
+        server = SaberServer(ServeConfig(port=0)).start()
+        client = connect(server, "acme")
+        client.register("s", SCHEMA)
+        client.submit(SUM_CQL.format(stream="s"), name="q")
+        push_rows(client, "s", 256)
+        # Shut down without the client closing its stream: the drain
+        # closes it (end-of-stream), processes the queued tail and
+        # flushes windows before releasing the engine.
+        server.shutdown(drain=True)
+        tenant = server._tenants["acme"]
+        backlog = tenant._queries["q"]
+        total = 0.0
+        while len(backlog):
+            for rows in backlog.drain(64, 0.0, lambda: True):
+                total += sum(r["total"] for r in rows)
+        assert total == 256.0
+
+    def test_shutdown_is_idempotent(self):
+        server = SaberServer(ServeConfig(port=0)).start()
+        server.shutdown()
+        server.shutdown()
+
+    @pytest.mark.slow
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0", "--drain-timeout", "30",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            # Log lines (stderr is merged) may interleave with the
+            # address announcement; scan for the plain print line.
+            for _ in range(20):
+                line = proc.stdout.readline()
+                if line.startswith("listening on "):
+                    break
+            else:
+                pytest.fail("server never announced its address")
+            host, port = line.split()[-1].rsplit(":", 1)
+            with ServeClient(host, int(port), tenant="t") as client:
+                client.register("s", SCHEMA)
+                client.submit(SUM_CQL.format(stream="s"), name="q")
+                push_rows(client, "s", 128)
+                proc.send_signal(signal.SIGTERM)
+                returncode = proc.wait(timeout=60)
+            assert returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()

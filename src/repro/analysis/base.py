@@ -1,0 +1,314 @@
+"""Rule framework: findings, the rule registry, and the project config.
+
+A rule is a small class with a ``name``, a one-line ``description`` of
+the invariant it guards, and a ``check(project, config)`` method that
+returns :class:`Finding` objects.  Rules register themselves with
+:func:`register` so the CLI and tests can enumerate them.
+
+Findings are suppressed two ways (see ``docs/analysis.md``):
+
+* inline — a ``# repro: allow(<rule>) -- <reason>`` comment on the
+  flagged line or the line directly above it;
+* baseline — a committed JSON file keyed by stable fingerprints
+  (:mod:`repro.analysis.baseline`), so the gate is strict on new code
+  while legacy findings carry a written justification.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .project import Project
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    symbol: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: ignores line numbers so
+        unrelated edits don't invalidate suppressions."""
+        basis = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """``path:line: rule: message`` — the CLI's text format."""
+        location = f"{self.path}:{self.line}"
+        symbol = f" [{self.symbol}]" if self.symbol else ""
+        return f"{location}: {self.rule}:{symbol} {self.message}"
+
+
+@dataclass(frozen=True)
+class DeclaredEdge:
+    """A lock-order edge the analyzer cannot see statically.
+
+    The engine wires several cross-component calls through callable
+    attributes (``on_release``, ``on_emit``, result sinks); each such
+    hook that acquires a lock while another is held is declared here
+    with a written justification, reviewed like code.
+    """
+
+    src: str
+    dst: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Project-specific knowledge the generic rules are parameterised by.
+
+    Tests build small custom configs around fixture trees; the real
+    tree uses :data:`DEFAULT_CONFIG`.
+    """
+
+    #: Module prefixes where every lock must be created via
+    #: ``make_lock``/``make_condition`` with its canonical name.
+    lock_modules: tuple[str, ...] = ()
+    #: Documented lock ranking, outermost (acquired first) to innermost.
+    lock_order: tuple[str, ...] = ()
+    #: Lock-order edges exercised only through dynamic dispatch.
+    declared_edges: tuple[DeclaredEdge, ...] = ()
+    #: Fully qualified functions on the per-task hot path.
+    hot_functions: tuple[str, ...] = ()
+    #: Module names (dotted, no trailing dot) allowed to mutate
+    #: head/tail pointers and call buffer mutators.
+    single_writer_buffer_modules: tuple[str, ...] = ()
+    #: Module names additionally allowed to *call* buffer mutators and
+    #: cut tasks (the dispatching layer).
+    single_writer_dispatch_modules: tuple[str, ...] = ()
+    #: Module prefixes scanned for metric registrations.
+    metrics_modules: tuple[str, ...] = ()
+    #: Docs file (relative to the docs dir) that must catalogue every
+    #: registered metric series; ``None`` disables the docs check.
+    metrics_catalogue: "str | None" = None
+    #: Module prefixes that must carry complete annotations.
+    annotation_modules: tuple[str, ...] = ()
+
+    def in_lock_scope(self, module: str) -> bool:
+        """Whether ``module`` is under the lock-discipline scope."""
+        return _prefixed(module, self.lock_modules)
+
+    def in_metrics_scope(self, module: str) -> bool:
+        """Whether ``module`` is scanned for metric registrations."""
+        return _prefixed(module, self.metrics_modules)
+
+    def in_annotation_scope(self, module: str) -> bool:
+        """Whether ``module`` must be fully annotated."""
+        return _prefixed(module, self.annotation_modules)
+
+
+def _prefixed(module: str, prefixes: tuple[str, ...]) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+class Rule:
+    """Base class for static rules; subclasses set ``name``/``description``."""
+
+    name = "rule"
+    description = ""
+
+    def check(self, project: "Project", config: AnalysisConfig) -> list[Finding]:
+        """Return every violation of this rule in ``project``."""
+        raise NotImplementedError
+
+
+#: name -> rule class, in registration order.
+RULE_REGISTRY: "dict[str, type[Rule]]" = {}
+
+
+def register(cls: "type[Rule]") -> "type[Rule]":
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate every registered rule (importing the rule modules)."""
+    from . import rules  # noqa: F401  (registration side effect)
+
+    return [cls() for cls in RULE_REGISTRY.values()]
+
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([a-z0-9_\-, ]+)\)")
+
+
+def inline_suppressions(source_lines: list[str]) -> "dict[int, set[str]]":
+    """Map 1-based line numbers to the rule names allowed on them.
+
+    An ``# repro: allow(rule)`` comment covers its own line and the
+    line below it, so it can sit on the flagged statement or ride
+    alone directly above.
+    """
+    allowed: dict[int, set[str]] = {}
+    for index, text in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(text)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        allowed.setdefault(index, set()).update(rules)
+        allowed.setdefault(index + 1, set()).update(rules)
+    return allowed
+
+
+# ---------------------------------------------------------------------------
+# The real tree's configuration.  Every name below is load-bearing: the
+# lock-order rule checks make_lock call sites against these node names,
+# lockdep records runtime edges under them, and docs/analysis.md
+# documents the ranking.
+# ---------------------------------------------------------------------------
+
+LOCK_ORDER: tuple[str, ...] = (
+    "serve.server.SaberServer._lock",
+    "serve.tenants.Tenant._lock",
+    "api.session.SaberSession._lock",
+    "core.executor.ThreadedExecutor._mutex",
+    "core.result_stage.ResultStage._lock",
+    "api.session.QueryHandle._cond",
+    "serve.tenants._ResultQueue._cond",
+    "io.push.PushSource._cond",
+    "relational.buffer.CircularTupleBuffer._lock",
+    "core.scheduler.ThroughputMatrix._lock",
+    "sim.measurements.Measurements._lock",
+    "serve.metrics.MetricsRegistry._lock",
+    "serve.metrics._Instrument._lock",
+)
+
+DECLARED_EDGES: tuple[DeclaredEdge, ...] = (
+    DeclaredEdge(
+        "core.result_stage.ResultStage._lock",
+        "relational.buffer.CircularTupleBuffer._lock",
+        "ResultStage.submit holds its lock through on_release, which is "
+        "wired to Dispatcher.release -> CircularTupleBuffer.release.",
+    ),
+    DeclaredEdge(
+        "core.result_stage.ResultStage._lock",
+        "api.session.QueryHandle._cond",
+        "on_emit is wired to QueryHandle._on_emit, which appends the "
+        "chunk under the handle's condition.",
+    ),
+    DeclaredEdge(
+        "core.result_stage.ResultStage._lock",
+        "serve.tenants._ResultQueue._cond",
+        "Tenant result sinks run inside the result stage's emit path "
+        "and append to the tenant backlog queue.",
+    ),
+    DeclaredEdge(
+        "core.result_stage.ResultStage._lock",
+        "serve.metrics._Instrument._lock",
+        "on_metrics is wired to SessionInstruments hooks (counter "
+        "inc/observe) and Tenant._on_chunk counts backlog drops.",
+    ),
+    DeclaredEdge(
+        "api.session.SaberSession._lock",
+        "serve.metrics._Instrument._lock",
+        "SaberSession._register runs engine.add_query under the session "
+        "lock; with serve metrics attached, wire_run sets gauge "
+        "callbacks (Gauge.set_function locks the instrument).",
+    ),
+    DeclaredEdge(
+        "serve.server.SaberServer._lock",
+        "serve.metrics.MetricsRegistry._lock",
+        "SaberServer.admit constructs the Tenant (and its "
+        "SessionInstruments) under the server lock; instrument "
+        "registration locks the registry.",
+    ),
+    DeclaredEdge(
+        "serve.server.SaberServer._lock",
+        "serve.metrics._Instrument._lock",
+        "Tenant construction under the server lock installs gauge "
+        "callbacks via Gauge.set_function.",
+    ),
+    DeclaredEdge(
+        "serve.tenants.Tenant._lock",
+        "io.push.PushSource._cond",
+        "Tenant.stats snapshots per-stream queue depth while holding "
+        "the tenant lock; PushSource.queued_tuples locks the ingress "
+        "condition.  (The static pass cannot type the comprehension "
+        "variable iterating Tenant._streams.)",
+    ),
+)
+
+HOT_FUNCTIONS: tuple[str, ...] = (
+    # Executor task loops (threads + processes backends).
+    "core.executor.ThreadedExecutor._dispatch_loop",
+    "core.executor.ThreadedExecutor._worker_loop",
+    "core.executor.ThreadedExecutor._claim",
+    "core.executor.ThreadedExecutor._execute",
+    "core.executor_mp.ProcessExecutor._feed",
+    "core.executor_mp.ProcessExecutor._handle_completion",
+    "core.executor_mp.ProcessExecutor._worker_main",
+    # Single-writer dispatch and the circular buffers it feeds.
+    "core.dispatcher.Dispatcher.create_task",
+    "core.dispatcher.Dispatcher._pull_staged",
+    "relational.buffer.CircularTupleBuffer.insert",
+    "relational.buffer.CircularTupleBuffer.read",
+    "relational.buffer.CircularTupleBuffer.release",
+    # Fused single-pass kernels.
+    "core.fusion.FusedKernel.process_batch",
+    "core.fusion.FusedKernel.merge_partials",
+    "core.fusion.FusedKernel.finalize_window",
+    # Result stage (in-order drain, per-window finalisation, emit).
+    "core.result_stage.ResultStage.submit",
+    "core.result_stage.ResultStage._process",
+    "core.result_stage.ResultStage._emit",
+    # Per-task metrics hooks fire once per task/emit on the hot path.
+    "serve.metrics.SessionInstruments._on_task",
+    "serve.metrics.SessionInstruments._on_task_cut",
+    "serve.metrics.SessionInstruments._on_emit",
+    "serve.metrics.Counter.inc",
+    "serve.metrics.Gauge.add",
+    "serve.metrics.Histogram.observe",
+)
+
+DEFAULT_CONFIG = AnalysisConfig(
+    lock_modules=(
+        "core",
+        "serve",
+        "relational.buffer",
+        "api.session",
+        "io.push",
+        "sim.measurements",
+    ),
+    lock_order=LOCK_ORDER,
+    declared_edges=DECLARED_EDGES,
+    hot_functions=HOT_FUNCTIONS,
+    single_writer_buffer_modules=("relational.buffer",),
+    single_writer_dispatch_modules=(
+        "core.dispatcher",
+        "core.engine",
+        "core.executor",
+        "core.executor_mp",
+    ),
+    metrics_modules=("serve",),
+    metrics_catalogue="operations.md",
+    annotation_modules=("analysis", "serve.protocol"),
+)
+
+
+#: Signature every rule's check method satisfies (used by the CLI).
+CheckFn = Callable[["Project", AnalysisConfig], "list[Finding]"]
+
+
+@dataclass
+class CheckResult:
+    """Aggregated outcome of running a rule set over a project."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no unsuppressed finding remains."""
+        return not self.findings

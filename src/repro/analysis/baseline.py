@@ -1,0 +1,75 @@
+"""Committed suppression baseline for ``repro check``.
+
+The baseline is a JSON file keyed by finding fingerprints (stable
+across line-number drift), each entry carrying a written justification.
+The gate is strict on new code: a finding not in the baseline fails the
+check, and baseline entries that no longer match anything are reported
+so the file cannot accumulate dead weight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint -> suppression entry (rule/path/message/reason)."""
+
+    path: "Path | None" = None
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls(path=path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = {
+            entry["fingerprint"]: {
+                "rule": str(entry.get("rule", "")),
+                "path": str(entry.get("path", "")),
+                "message": str(entry.get("message", "")),
+                "reason": str(entry.get("reason", "")),
+            }
+            for entry in payload.get("suppressions", [])
+        }
+        return cls(path=path, entries=entries)
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether the finding is suppressed by this baseline."""
+        return finding.fingerprint in self.entries
+
+    def unused(self, findings: "list[Finding]") -> list[str]:
+        """Baseline fingerprints that matched nothing this run."""
+        seen = {finding.fingerprint for finding in findings}
+        return sorted(fp for fp in self.entries if fp not in seen)
+
+    def write(self, path: Path, findings: "list[Finding]") -> None:
+        """Write a baseline suppressing exactly ``findings``.
+
+        Existing entries keep their justification; new entries get a
+        placeholder reason that reviewers must replace.
+        """
+        suppressions = []
+        for finding in sorted(findings, key=lambda f: (f.rule, f.path, f.line)):
+            previous = self.entries.get(finding.fingerprint, {})
+            suppressions.append(
+                {
+                    "fingerprint": finding.fingerprint,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "message": finding.message,
+                    "reason": previous.get("reason") or "TODO: justify this suppression",
+                }
+            )
+        payload = {"version": _VERSION, "suppressions": suppressions}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,219 @@
+"""The ``repro check`` subcommand: run the static rules over a tree.
+
+Exit codes: 0 — clean (all findings suppressed or none); 1 — findings;
+2 — usage error.  See ``docs/analysis.md`` for the rule catalogue and
+suppression formats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .base import AnalysisConfig, CheckResult, DEFAULT_CONFIG, Finding, all_rules
+from .baseline import Baseline
+from .locks import build_lock_graph
+from .project import Project
+
+__all__ = ["main", "run_check"]
+
+_BASELINE_NAME = "analysis-baseline.json"
+
+
+def run_check(
+    project: Project,
+    config: AnalysisConfig,
+    baseline: "Baseline | None" = None,
+    rule_names: "Sequence[str] | None" = None,
+) -> CheckResult:
+    """Run the (selected) registered rules over ``project``."""
+    result = CheckResult()
+    suppressions = {
+        str(mod.path): mod.suppressions() for mod in project.modules.values()
+    }
+    for rule in all_rules():
+        if rule_names and rule.name not in rule_names:
+            continue
+        for finding in rule.check(project, config):
+            allowed = suppressions.get(finding.path, {}).get(finding.line, set())
+            if finding.rule in allowed:
+                result.suppressed.append(finding)
+            elif baseline is not None and baseline.matches(finding):
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result
+
+
+def _default_baseline(paths: "list[Path]") -> Path:
+    """``analysis-baseline.json`` next to the scanned tree, else CWD."""
+    first = paths[0]
+    root = first if first.is_dir() else first.parent
+    for candidate in (root.parent / _BASELINE_NAME, root / _BASELINE_NAME):
+        if candidate.is_file():
+            return candidate
+    return root.parent / _BASELINE_NAME
+
+
+def _verify_lockdep_report(
+    report_path: Path, project: Project, config: AnalysisConfig
+) -> "tuple[bool, str]":
+    """Validate a lockdep JSON report against the static graph."""
+    from .lockdep import verify
+
+    payload = json.loads(report_path.read_text(encoding="utf-8"))
+    observed: dict[tuple[str, str], int] = {}
+    for key, count in payload.get("observed_edges", {}).items():
+        src, _, dst = key.partition(" -> ")
+        observed[(src, dst)] = int(count)
+    graph = build_lock_graph(project, config)
+    report = verify(observed, graph.edge_pairs())
+    return report.ok, report.summary()
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The ``repro check`` argument parser (reused by the main CLI)."""
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Static project-invariant analysis (see docs/analysis.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"suppression baseline file (default: {_BASELINE_NAME} next to the tree)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--docs",
+        default=None,
+        help="docs directory for the metrics catalogue check",
+    )
+    parser.add_argument(
+        "--lockdep-report",
+        default=None,
+        help="also validate a lockdep JSON report against the static lock graph",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point for ``repro check``; returns the exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name}: {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro check: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    docs_dir = Path(args.docs) if args.docs else None
+    try:
+        project = Project.load(paths, docs_dir=docs_dir)
+    except SyntaxError as exc:
+        print(f"repro check: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else _default_baseline(paths)
+    baseline = Baseline.load(baseline_path)
+    config = DEFAULT_CONFIG
+    result = run_check(project, config, baseline=baseline, rule_names=args.rule)
+
+    if args.write_baseline:
+        baseline.write(baseline_path, result.findings + result.baselined)
+        print(
+            f"wrote {len(result.findings) + len(result.baselined)} suppression(s) "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    exit_code = 0 if result.clean else 1
+    stale = baseline.unused(result.findings + result.baselined)
+
+    if args.format == "json":
+        payload = {
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "symbol": f.symbol,
+                    "message": f.message,
+                    "fingerprint": f.fingerprint,
+                }
+                for f in result.findings
+            ],
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "stale_baseline_entries": stale,
+            "ok": result.clean,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = (
+            f"repro check: {len(result.findings)} finding(s), "
+            f"{len(result.suppressed)} inline-suppressed, "
+            f"{len(result.baselined)} baselined"
+        )
+        print(summary)
+        if stale:
+            print(
+                f"repro check: {len(stale)} stale baseline entr"
+                f"{'y' if len(stale) == 1 else 'ies'} no longer match anything; "
+                "regenerate with --write-baseline"
+            )
+
+    if args.lockdep_report:
+        report_path = Path(args.lockdep_report)
+        if not report_path.is_file():
+            print(f"repro check: no such report: {report_path}", file=sys.stderr)
+            return 2
+        ok, summary = _verify_lockdep_report(report_path, project, config)
+        print(summary)
+        if not ok:
+            exit_code = 1
+
+    return exit_code
+
+
+def _render_findings(findings: "list[Finding]") -> str:
+    """Text rendering used by tests."""
+    return "\n".join(finding.render() for finding in findings)

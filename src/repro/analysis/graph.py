@@ -1,0 +1,104 @@
+"""A tiny directed-graph model shared by the static and runtime halves.
+
+Nodes are lock *names* (``"core.executor.ThreadedExecutor._mutex"``),
+not lock instances: like the kernel's lockdep, ordering is validated
+per lock **class** (creation site), so every ``_Instrument._lock`` is
+one node regardless of how many instruments exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed ``src is held while dst is acquired`` observation."""
+
+    src: str
+    dst: str
+    via: str
+
+    def pair(self) -> tuple[str, str]:
+        """The (src, dst) key, dropping the provenance label."""
+        return (self.src, self.dst)
+
+
+class LockOrderGraph:
+    """Directed graph of lock-acquisition order with provenance labels."""
+
+    def __init__(self) -> None:
+        self._edges: dict[tuple[str, str], list[str]] = {}
+        self._nodes: set[str] = set()
+
+    def add_node(self, name: str) -> None:
+        """Register a lock even if no edge touches it."""
+        self._nodes.add(name)
+
+    def add_edge(self, src: str, dst: str, via: str) -> None:
+        """Record that ``dst`` was (or may be) acquired while ``src`` is held."""
+        if src == dst:
+            return
+        self._nodes.add(src)
+        self._nodes.add(dst)
+        self._edges.setdefault((src, dst), []).append(via)
+
+    @property
+    def nodes(self) -> set[str]:
+        """All known lock names."""
+        return set(self._nodes)
+
+    def edges(self) -> list[Edge]:
+        """All edges, one per (src, dst) pair, first provenance label wins."""
+        return [Edge(src, dst, vias[0]) for (src, dst), vias in sorted(self._edges.items())]
+
+    def edge_pairs(self) -> set[tuple[str, str]]:
+        """The (src, dst) pair set, for set algebra against runtime data."""
+        return set(self._edges)
+
+    def provenance(self, src: str, dst: str) -> list[str]:
+        """Every recorded reason for the (src, dst) edge."""
+        return list(self._edges.get((src, dst), []))
+
+    def find_cycle(self) -> "list[str] | None":
+        """Return one cycle as a node path ``[a, b, ..., a]``, or ``None``.
+
+        Iterative three-colour DFS so deep graphs cannot overflow the
+        interpreter stack.
+        """
+        adjacency: dict[str, list[str]] = {node: [] for node in self._nodes}
+        for src, dst in self._edges:
+            adjacency[src].append(dst)
+        for neighbours in adjacency.values():
+            neighbours.sort()
+
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {node: WHITE for node in self._nodes}
+        parent: dict[str, str] = {}
+        for root in sorted(self._nodes):
+            if colour[root] != WHITE:
+                continue
+            stack: list[tuple[str, int]] = [(root, 0)]
+            colour[root] = GREY
+            while stack:
+                node, index = stack[-1]
+                if index < len(adjacency[node]):
+                    stack[-1] = (node, index + 1)
+                    nxt = adjacency[node][index]
+                    if colour[nxt] == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, 0))
+                    elif colour[nxt] == GREY:
+                        cycle = [nxt]
+                        cursor = node
+                        while cursor != nxt:
+                            cycle.append(cursor)
+                            cursor = parent[cursor]
+                        cycle.append(nxt)
+                        cycle.reverse()
+                        return cycle
+                else:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None

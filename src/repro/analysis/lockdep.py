@@ -1,0 +1,271 @@
+"""Lockdep-style runtime lock-order validation (``REPRO_LOCKDEP=1``).
+
+Every lock the engine's concurrent layers create goes through
+:func:`make_lock` / :func:`make_condition` with a stable *lock-class*
+name (``"core.executor.ThreadedExecutor._mutex"`` — the same node names
+the static analyzer derives).  Normally these are plain ``threading``
+factories with zero overhead; with ``REPRO_LOCKDEP=1`` in the
+environment they return tracked wrappers that record, per thread, which
+lock classes were held when each lock was acquired.
+
+The recorded edge set is then checked against the static
+lock-acquisition graph (:mod:`repro.analysis.locks`):
+
+* a cycle in the observed edges is a real deadlock hazard — fail;
+* an observed edge the static graph does not know about means the
+  analyzer (or its declared-dynamic-edge list) is stale — fail;
+* a static edge never observed is reported as *unexercised* coverage.
+
+Like the kernel's lockdep, validation is per lock class, not per
+instance, and only threads in the recording process are tracked —
+forked worker processes validate their own (trivial) acquisition
+history, while the parent covers the dispatcher/result-stage/serve
+locks where ordering actually matters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .graph import LockOrderGraph
+
+__all__ = [
+    "ENV_FLAG",
+    "LockdepRegistry",
+    "LockdepReport",
+    "REGISTRY",
+    "TrackedLock",
+    "enabled",
+    "make_condition",
+    "make_lock",
+    "verify",
+]
+
+#: Environment variable that switches the tracked implementations on.
+ENV_FLAG = "REPRO_LOCKDEP"
+
+
+def enabled() -> bool:
+    """True when lockdep instrumentation is switched on via the environment."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+class LockdepRegistry:
+    """Process-wide recorder of per-thread lock acquisition order.
+
+    Threads keep a thread-local stack of held lock names; acquiring
+    lock ``B`` while ``A`` is held records the directed edge
+    ``A -> B``.  The shared edge map is guarded by an internal meta
+    lock that is itself never tracked.
+    """
+
+    def __init__(self) -> None:
+        self._meta = threading.Lock()
+        self._local = threading.local()
+        self._edges: dict[tuple[str, str], int] = {}
+        self._acquisitions: dict[str, int] = {}
+
+    def _held(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def note_acquire(self, name: str) -> None:
+        """Record that the calling thread acquired lock class ``name``."""
+        held = self._held()
+        with self._meta:
+            self._acquisitions[name] = self._acquisitions.get(name, 0) + 1
+            for outer in set(held):
+                if outer != name:
+                    edge = (outer, name)
+                    self._edges[edge] = self._edges.get(edge, 0) + 1
+        held.append(name)
+
+    def note_release(self, name: str) -> None:
+        """Record that the calling thread released lock class ``name``."""
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == name:
+                del held[index]
+                return
+
+    def held_names(self) -> tuple[str, ...]:
+        """Lock classes the calling thread currently holds (oldest first)."""
+        return tuple(self._held())
+
+    def edges(self) -> set[tuple[str, str]]:
+        """The observed ``(outer, inner)`` edge set across all threads."""
+        with self._meta:
+            return set(self._edges)
+
+    def edge_counts(self) -> dict[tuple[str, str], int]:
+        """Observed edges with how often each was exercised."""
+        with self._meta:
+            return dict(self._edges)
+
+    def acquisition_counts(self) -> dict[str, int]:
+        """Total acquisitions per lock class."""
+        with self._meta:
+            return dict(self._acquisitions)
+
+    def reset(self) -> None:
+        """Drop all recorded edges and counts (the calling thread's stack too)."""
+        with self._meta:
+            self._edges.clear()
+            self._acquisitions.clear()
+        self._local.stack = []
+
+
+#: The process-wide registry every tracked lock reports to.
+REGISTRY = LockdepRegistry()
+
+
+class TrackedLock:
+    """A ``threading.Lock`` wrapper that reports to :data:`REGISTRY`.
+
+    Also serves as the backing lock for tracked ``Condition`` objects:
+    ``Condition.wait`` releases and re-acquires through ``release`` /
+    ``acquire``, so the held-stack stays truthful across waits.
+    """
+
+    def __init__(self, name: str, registry: "LockdepRegistry | None" = None) -> None:
+        self.name = name
+        self._registry = registry if registry is not None else REGISTRY
+        self._inner = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        """Acquire the underlying lock, recording the edge on success."""
+        if blocking:
+            got = self._inner.acquire(True, timeout)
+        else:
+            got = self._inner.acquire(False)
+        if got:
+            self._registry.note_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        """Release the underlying lock and pop it from the held stack."""
+        self._inner.release()
+        self._registry.note_release(self.name)
+
+    def locked(self) -> bool:
+        """Whether the underlying lock is currently held by any thread."""
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<TrackedLock {self.name!r} locked={self._inner.locked()}>"
+
+
+def make_lock(name: str) -> Any:
+    """Create the engine's standard mutex for lock class ``name``.
+
+    Returns a plain ``threading.Lock`` unless ``REPRO_LOCKDEP=1``, in
+    which case a :class:`TrackedLock` records acquisition order under
+    the given name.  ``name`` must match the static analyzer's node
+    name for the creation site: ``<module>.<Class>.<attr>`` with the
+    leading ``repro.`` dropped (the lock-order rule enforces this).
+    """
+    if enabled():
+        return TrackedLock(name)
+    return threading.Lock()
+
+
+def make_condition(name: str, lock: Any = None) -> threading.Condition:
+    """Create a condition variable for lock class ``name``.
+
+    When ``lock`` is given the condition shares it (and its lock class
+    — pass the owning lock's name).  Otherwise the condition gets its
+    own mutex, tracked under ``name`` when lockdep is enabled.  The
+    engine's conditions are never re-entered, so a non-reentrant
+    backing lock is safe and keeps wait/notify accounting exact.
+    """
+    if lock is not None:
+        return threading.Condition(lock)
+    if enabled():
+        return threading.Condition(TrackedLock(name))
+    return threading.Condition()
+
+
+@dataclass
+class LockdepReport:
+    """Outcome of checking observed acquisition order against the static graph."""
+
+    observed: dict[tuple[str, str], int]
+    acquisitions: dict[str, int]
+    cycle: "list[str] | None"
+    undeclared: list[tuple[str, str]]
+    unexercised: list[tuple[str, str]]
+    allowed: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        """True when no cycle was observed and every edge was declared."""
+        return self.cycle is None and not self.undeclared
+
+    def summary(self) -> str:
+        """A short human-readable verdict."""
+        if self.ok:
+            return (
+                f"lockdep ok: {len(self.observed)} edges observed, "
+                f"{len(self.unexercised)} static edges unexercised"
+            )
+        parts = []
+        if self.cycle is not None:
+            parts.append("cycle: " + " -> ".join(self.cycle))
+        for src, dst in self.undeclared:
+            parts.append(f"undeclared edge: {src} -> {dst}")
+        return "lockdep FAILED: " + "; ".join(parts)
+
+    def to_json(self) -> str:
+        """Serialise the report (edges as ``src -> dst`` strings)."""
+        payload: dict[str, Any] = {
+            "ok": self.ok,
+            "observed_edges": {
+                f"{src} -> {dst}": count for (src, dst), count in sorted(self.observed.items())
+            },
+            "acquisitions": dict(sorted(self.acquisitions.items())),
+            "cycle": self.cycle,
+            "undeclared_edges": [f"{src} -> {dst}" for src, dst in self.undeclared],
+            "unexercised_edges": [f"{src} -> {dst}" for src, dst in self.unexercised],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def verify(
+    observed: dict[tuple[str, str], int],
+    allowed: Iterable[tuple[str, str]],
+    acquisitions: "dict[str, int] | None" = None,
+) -> LockdepReport:
+    """Check observed runtime edges against the allowed static edge set.
+
+    ``allowed`` is the static graph's edge pairs (lexical + declared
+    dynamic edges).  The observed edges are additionally checked for
+    cycles on their own — even a fully declared edge set must be
+    acyclic to rule out deadlock.
+    """
+    allowed_set = set(allowed)
+    graph = LockOrderGraph()
+    for src, dst in observed:
+        graph.add_edge(src, dst, "runtime")
+    undeclared = sorted(edge for edge in observed if edge not in allowed_set)
+    unexercised = sorted(edge for edge in allowed_set if edge not in observed)
+    return LockdepReport(
+        observed=dict(observed),
+        acquisitions=dict(acquisitions or {}),
+        cycle=graph.find_cycle(),
+        undeclared=undeclared,
+        unexercised=unexercised,
+        allowed=allowed_set,
+    )

@@ -1,0 +1,434 @@
+"""Static lock model: creation sites and the acquisition-order graph.
+
+Lock discovery understands both the engine's canonical factory calls
+(``make_lock("core.executor.ThreadedExecutor._mutex")``) and raw
+``threading.Lock()`` / ``threading.Condition()`` construction (used by
+test fixtures; banned inside the configured lock scope).  A condition
+constructed over an existing lock (``threading.Condition(self._lock)``
+or ``make_condition(name, lock=self._lock)``) aliases that lock's
+node.
+
+The graph builder walks every function with a lexical held-lock stack
+(``with`` nesting), resolves calls through the project's best-effort
+type inference (methods, constructors, properties, ``len()``), and
+closes the call graph so ``A -> B`` is recorded whenever ``B`` may be
+acquired downstream of a call made while ``A`` is held.  Edges only
+reachable through callable attributes (``on_release`` hooks, sinks)
+are invisible here by design — they are declared in
+:class:`~repro.analysis.base.AnalysisConfig.declared_edges` and
+cross-checked at runtime by :mod:`repro.analysis.lockdep`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .base import AnalysisConfig
+from .graph import LockOrderGraph
+from .project import ClassInfo, FunctionInfo, Module, Project, _dotted
+
+__all__ = ["LockModel", "LockSite", "build_lock_model", "build_lock_graph"]
+
+_FACTORY_NAMES = {"make_lock", "make_condition"}
+_RAW_LOCKS = {"threading.Lock", "threading.RLock"}
+_RAW_CONDITIONS = {"threading.Condition"}
+
+
+@dataclass
+class LockSite:
+    """One lock-creation site."""
+
+    node_name: str
+    module: str
+    lineno: int
+    class_key: "str | None" = None
+    attr: "str | None" = None
+    via_factory: bool = False
+    declared_name: "str | None" = None
+    aliases: "str | None" = None
+
+
+@dataclass
+class LockModel:
+    """Every known lock and where it lives."""
+
+    #: (class key, attr) -> node name (aliases already collapsed).
+    attr_locks: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: (module, variable) -> node name, for module-level locks.
+    module_locks: dict[tuple[str, str], str] = field(default_factory=dict)
+    sites: list[LockSite] = field(default_factory=list)
+
+    def node_for_attr(self, project: Project, class_key: str, attr: str) -> "str | None":
+        """Lock node for ``self.attr`` on ``class_key``, MRO-aware."""
+        for info in project.mro(class_key):
+            node = self.attr_locks.get((info.key, attr))
+            if node:
+                return node
+        return None
+
+
+def _expand(module: Module, dotted: str) -> str:
+    """Expand a local name through the module's import map."""
+    head, _, rest = dotted.partition(".")
+    target = module.imports.get(head)
+    if target is None:
+        return dotted
+    return f"{target}.{rest}" if rest else target
+
+
+def _classify_lock_call(module: Module, call: ast.Call) -> "tuple[str, str | None, ast.expr | None] | None":
+    """Classify a call as lock-creating.
+
+    Returns ``(kind, declared_name, alias_expr)`` where kind is one of
+    ``factory`` / ``raw``; ``declared_name`` is the literal passed to a
+    factory; ``alias_expr`` the existing-lock argument of a condition.
+    """
+    dotted = _dotted(call.func)
+    if dotted is None:
+        return None
+    expanded = _expand(module, dotted)
+    tail = expanded.rpartition(".")[2]
+    if tail in _FACTORY_NAMES and (
+        dotted.rpartition(".")[2] in _FACTORY_NAMES or "lockdep" in expanded
+    ):
+        name: "str | None" = None
+        if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+            call.args[0].value, str
+        ):
+            name = call.args[0].value
+        alias: "ast.expr | None" = None
+        if tail == "make_condition":
+            if len(call.args) > 1:
+                alias = call.args[1]
+            for kw in call.keywords:
+                if kw.arg == "lock":
+                    alias = kw.value
+        return ("factory", name, alias)
+    if expanded in _RAW_LOCKS:
+        return ("raw", None, None)
+    if expanded in _RAW_CONDITIONS:
+        alias = call.args[0] if call.args else None
+        return ("raw", None, alias)
+    return None
+
+
+def _self_attr(expr: "ast.expr | None") -> "str | None":
+    """``self.X`` -> ``X``."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def build_lock_model(project: Project) -> LockModel:
+    """Find every lock-creation site in the project."""
+    model = LockModel()
+    pending_aliases: list[tuple[str, str, str, LockSite]] = []
+
+    for mod in project.modules.values():
+        # Module-level locks (fixtures mostly).
+        for stmt in mod.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                info = _classify_lock_call(mod, stmt.value)
+                if info is None:
+                    continue
+                kind, declared, _alias = info
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        node_name = declared or (
+                            f"{mod.name}.{target.id}" if mod.name else target.id
+                        )
+                        model.module_locks[(mod.name, target.id)] = node_name
+                        model.sites.append(
+                            LockSite(
+                                node_name=node_name,
+                                module=mod.name,
+                                lineno=stmt.lineno,
+                                via_factory=kind == "factory",
+                                declared_name=declared,
+                            )
+                        )
+
+    for cls in project.classes.values():
+        mod = project.modules.get(cls.module)
+        if mod is None:
+            continue
+        # Dataclass fields: attr: T = field(default_factory=lambda: make_lock(...))
+        # or the reference form field(default_factory=threading.Lock).
+        for item in cls.node.body:
+            if not (isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name)):
+                continue
+            info = None
+            lineno = item.lineno
+            for node in ast.walk(item):
+                if isinstance(node, ast.Call):
+                    info = _classify_lock_call(mod, node)
+                    if info is not None:
+                        lineno = node.lineno
+                        break
+                if isinstance(node, ast.keyword) and node.arg == "default_factory":
+                    dotted = _dotted(node.value)
+                    if dotted and _expand(mod, dotted) in _RAW_LOCKS | _RAW_CONDITIONS:
+                        info = ("raw", None, None)
+                        lineno = node.value.lineno
+                        break
+            if info is not None:
+                _record_attr_lock(model, cls, item.target.id, lineno, info, pending_aliases)
+        # Method bodies: self.attr = make_lock(...) / threading.Lock().
+        for method in cls.methods.values():
+            for node in ast.walk(method):
+                if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                    continue
+                info = _classify_lock_call(mod, node.value)
+                if info is None:
+                    continue
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        _record_attr_lock(
+                            model, cls, attr, node.lineno, info, pending_aliases
+                        )
+
+    # Second pass: conditions aliasing another attribute's lock.
+    for class_key, attr, alias_attr, site in pending_aliases:
+        aliased = model.attr_locks.get((class_key, alias_attr))
+        if aliased is not None:
+            model.attr_locks[(class_key, attr)] = aliased
+            site.node_name = aliased
+            site.aliases = aliased
+    return model
+
+
+def _record_attr_lock(
+    model: LockModel,
+    cls: ClassInfo,
+    attr: str,
+    lineno: int,
+    info: "tuple[str, str | None, ast.expr | None]",
+    pending_aliases: "list[tuple[str, str, str, LockSite]]",
+) -> None:
+    kind, declared, alias = info
+    canonical = f"{cls.key}.{attr}"
+    node_name = declared or canonical
+    site = LockSite(
+        node_name=node_name,
+        module=cls.module,
+        lineno=lineno,
+        class_key=cls.key,
+        attr=attr,
+        via_factory=kind == "factory",
+        declared_name=declared,
+    )
+    model.attr_locks[(cls.key, attr)] = node_name
+    model.sites.append(site)
+    alias_attr = _self_attr(alias)
+    if alias_attr is not None:
+        pending_aliases.append((cls.key, attr, alias_attr, site))
+
+
+# ---------------------------------------------------------------------------
+# Acquisition graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CallSite:
+    held: tuple[str, ...]
+    callee: str
+    lineno: int
+
+
+@dataclass
+class _FunctionSummary:
+    """Per-function lexical acquisitions and outgoing calls."""
+
+    fn: FunctionInfo
+    lexical_events: "list[tuple[tuple[str, ...], str, int]]" = field(default_factory=list)
+    calls: "list[_CallSite]" = field(default_factory=list)
+
+    @property
+    def lexical_nodes(self) -> set[str]:
+        return {node for _, node, _ in self.lexical_events}
+
+
+class _LockWalker:
+    """Walks one function with a lexical held-lock stack."""
+
+    def __init__(self, project: Project, model: LockModel, fn: FunctionInfo) -> None:
+        self.project = project
+        self.model = model
+        self.fn = fn
+        self.module = project.modules[fn.module]
+        self.ctx = project.function_context(fn)
+        self.summary = _FunctionSummary(fn=fn)
+
+    # -- lock resolution -----------------------------------------------------
+
+    def _lock_node(self, expr: ast.expr) -> "str | None":
+        """Resolve an expression to a lock node, if it names one."""
+        attr = _self_attr(expr)
+        if attr is not None and self.fn.cls is not None:
+            return self.model.node_for_attr(self.project, self.fn.cls.key, attr)
+        if isinstance(expr, ast.Name):
+            node = self.model.module_locks.get((self.fn.module, expr.id))
+            if node:
+                return node
+        if isinstance(expr, ast.Attribute):
+            owner = self.project.infer_expr_type(self.fn.module, expr.value, self.ctx)
+            if owner:
+                return self.model.node_for_attr(self.project, owner, expr.attr)
+        return None
+
+    # -- traversal -----------------------------------------------------------
+
+    def run(self) -> _FunctionSummary:
+        """Walk the function body; return its summary."""
+        self._walk_body(self.fn.node.body, ())
+        return self.summary
+
+    def _walk_body(self, body: "list[ast.stmt]", held: tuple[str, ...]) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, held)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: tuple[str, ...]) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                node = self._lock_node(item.context_expr)
+                if node is not None:
+                    self.summary.lexical_events.append((inner, node, stmt.lineno))
+                    inner = (*inner, node)
+                else:
+                    self._scan_expr(item.context_expr, inner)
+            self._walk_body(stmt.body, inner)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested defs are callbacks; analyzed via their own summaries
+        for expr in ast.iter_child_nodes(stmt):
+            if isinstance(expr, ast.expr):
+                self._scan_expr(expr, held)
+        for attr_name in ("body", "orelse", "finalbody"):
+            nested = getattr(stmt, attr_name, None)
+            if isinstance(nested, list) and nested and isinstance(nested[0], ast.stmt):
+                self._walk_body(nested, held)
+        for handler in getattr(stmt, "handlers", []):
+            self._walk_body(handler.body, held)
+
+    def _scan_expr(self, expr: ast.expr, held: tuple[str, ...]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._scan_call(node, held)
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                self._scan_property(node, held)
+
+    def _scan_call(self, call: ast.Call, held: tuple[str, ...]) -> None:
+        func = call.func
+        # Explicit lock.acquire() counts as a lexical acquisition event.
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            node = self._lock_node(func.value)
+            if node is not None:
+                self.summary.lexical_events.append((held, node, call.lineno))
+                return
+        callee = self._resolve_callee(call)
+        if callee is not None:
+            self.summary.calls.append(_CallSite(held=held, callee=callee, lineno=call.lineno))
+
+    def _scan_property(self, node: ast.Attribute, held: tuple[str, ...]) -> None:
+        """Property loads run code: resolve ``obj.prop`` to its getter."""
+        owner = self.project.infer_expr_type(self.fn.module, node.value, self.ctx)
+        if owner is None:
+            return
+        method = self.project.find_method(owner, node.attr)
+        if method is not None and _is_property(method.node):
+            self.summary.calls.append(
+                _CallSite(held=held, callee=method.key, lineno=node.lineno)
+            )
+
+    def _resolve_callee(self, call: ast.Call) -> "str | None":
+        func = call.func
+        project = self.project
+        module = self.fn.module
+        if isinstance(func, ast.Name):
+            if func.id == "len" and len(call.args) == 1:
+                owner = project.infer_expr_type(module, call.args[0], self.ctx)
+                if owner:
+                    method = project.find_method(owner, "__len__")
+                    return method.key if method else None
+                return None
+            key = project.resolve_name(module, func.id)
+            if key is None:
+                return None
+            if key in project.classes:
+                ctor = project.find_method(key, "__init__")
+                return ctor.key if ctor else None
+            return key if key in project.functions else None
+        if isinstance(func, ast.Attribute):
+            owner = project.infer_expr_type(module, func.value, self.ctx)
+            if owner:
+                method = project.find_method(owner, func.attr)
+                return method.key if method else None
+            dotted = _dotted(func)
+            if dotted:
+                key = project.resolve_name(module, dotted)
+                if key in project.classes:
+                    ctor = project.find_method(key, "__init__")
+                    return ctor.key if ctor else None
+                if key in project.functions:
+                    return key
+        return None
+
+
+def _is_property(node: ast.FunctionDef) -> bool:
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Name) and deco.id == "property":
+            return True
+        if isinstance(deco, ast.Attribute) and deco.attr in ("getter", "setter"):
+            return True
+    return False
+
+
+def build_lock_graph(
+    project: Project, config: AnalysisConfig, model: "LockModel | None" = None
+) -> LockOrderGraph:
+    """Build the static acquisition graph (lexical + transitive + declared)."""
+    if model is None:
+        model = build_lock_model(project)
+    summaries: dict[str, _FunctionSummary] = {}
+    for fn in project.functions.values():
+        if fn.module not in project.modules:
+            continue
+        summaries[fn.key] = _LockWalker(project, model, fn).run()
+
+    # Transitive closure: every lock a function may acquire downstream.
+    total: dict[str, set[str]] = {key: set(s.lexical_nodes) for key, s in summaries.items()}
+    changed = True
+    while changed:
+        changed = False
+        for key, summary in summaries.items():
+            bucket = total[key]
+            before = len(bucket)
+            for call in summary.calls:
+                bucket |= total.get(call.callee, set())
+            if len(bucket) != before:
+                changed = True
+
+    graph = LockOrderGraph()
+    for node in set(model.attr_locks.values()) | set(model.module_locks.values()):
+        graph.add_node(node)
+    for key, summary in summaries.items():
+        for held, node, lineno in summary.lexical_events:
+            for outer in held:
+                graph.add_edge(outer, node, f"{key}:{lineno}")
+        for call in summary.calls:
+            if not call.held:
+                continue
+            for node in total.get(call.callee, ()):
+                for outer in call.held:
+                    graph.add_edge(outer, node, f"{key}:{call.lineno} -> {call.callee}")
+    for edge in config.declared_edges:
+        graph.add_edge(edge.src, edge.dst, f"declared: {edge.reason}")
+    return graph

@@ -1,0 +1,26 @@
+"""Static rules; importing this package registers all of them.
+
+Each rule module defines one small :class:`~repro.analysis.base.Rule`
+subclass guarding one project invariant — see ``docs/analysis.md`` for
+the catalogue.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  (registration side effect)
+    annotations,
+    hot_path,
+    lock_order,
+    metrics_coherence,
+    shm_lifecycle,
+    single_writer,
+)
+
+__all__ = [
+    "annotations",
+    "hot_path",
+    "lock_order",
+    "metrics_coherence",
+    "shm_lifecycle",
+    "single_writer",
+]

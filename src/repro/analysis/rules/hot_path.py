@@ -1,0 +1,152 @@
+"""Rule: hot-path hygiene — no pickling, per-row Python loops, or
+concatenation inside the per-task inner loops."""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from ..base import AnalysisConfig, Finding, Rule, register
+from ..locks import _expand
+from ..project import FunctionInfo, Module, Project, _dotted
+
+__all__ = ["HotPathRule"]
+
+#: Module call prefixes banned on the hot path (serialization and deep
+#: copies belong at the boundaries, never per task).
+_BANNED_CALL_PREFIXES = (
+    "pickle.",
+    "cPickle.",
+    "marshal.",
+    "json.",
+    "copy.deepcopy",
+)
+#: Methods that materialise per-row Python objects from columnar data.
+_PER_ROW_METHODS = ("to_rows", "tolist")
+#: Growing an array per loop iteration is the quadratic antipattern.
+_LOOP_ALLOC_TAILS = ("concatenate", "vstack", "hstack")
+
+_Flag = Callable[[ast.AST, str], None]
+
+
+@register
+class HotPathRule(Rule):
+    """Per-task code stays columnar: no (un)pickling, no per-row Python."""
+
+    name = "hot-path"
+    description = (
+        "Functions tagged hot (executor task loops, fused kernels, "
+        "dispatcher/buffer/result-stage inner paths, per-task metric "
+        "hooks) may not call pickle/marshal/json/deepcopy, materialise "
+        "or iterate per-row Python objects from TupleBatch columns, or "
+        "concatenate arrays inside a loop."
+    )
+
+    def check(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        """Check every configured hot function (and that the list is live)."""
+        findings: list[Finding] = []
+        for qualname in config.hot_functions:
+            fn = project.functions.get(qualname)
+            if fn is None:
+                anchor = next(iter(project.modules.values()), None)
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=str(anchor.path) if anchor else "<config>",
+                        line=0,
+                        symbol=qualname,
+                        message=(
+                            f"hot function {qualname!r} from the configuration "
+                            "does not exist; update AnalysisConfig.hot_functions "
+                            "after refactors so hot-path coverage stays honest"
+                        ),
+                    )
+                )
+                continue
+            findings.extend(self._check_function(project, fn))
+        return findings
+
+    def _check_function(self, project: Project, fn: FunctionInfo) -> list[Finding]:
+        module = project.modules[fn.module]
+        path = str(module.path)
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path=path,
+                    line=getattr(node, "lineno", 0),
+                    symbol=fn.key,
+                    message=message,
+                )
+            )
+
+        loop_depth = 0
+
+        def visit(node: ast.AST) -> None:
+            nonlocal loop_depth
+            is_loop = isinstance(node, (ast.For, ast.While))
+            if isinstance(node, ast.For):
+                _check_loop_iter(node, flag)
+            if isinstance(node, ast.Call):
+                _check_call(module, node, flag, loop_depth)
+            if is_loop:
+                loop_depth += 1
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            if is_loop:
+                loop_depth -= 1
+
+        for stmt in fn.node.body:
+            visit(stmt)
+        return findings
+
+
+def _check_call(module: Module, node: ast.Call, flag: _Flag, loop_depth: int) -> None:
+    dotted = _dotted(node.func)
+    expanded = _expand(module, dotted) if dotted else None
+    if expanded is not None:
+        for prefix in _BANNED_CALL_PREFIXES:
+            if expanded == prefix.rstrip(".") or expanded.startswith(prefix):
+                flag(
+                    node,
+                    f"hot path calls {expanded}(); serialization/deep-copy "
+                    "belongs at the boundaries, never per task",
+                )
+                return
+    if isinstance(node.func, ast.Attribute):
+        if node.func.attr in _PER_ROW_METHODS:
+            flag(
+                node,
+                f".{node.func.attr}() materialises per-row Python objects "
+                "on the hot path; stay columnar",
+            )
+            return
+        if loop_depth > 0 and node.func.attr in _LOOP_ALLOC_TAILS:
+            flag(
+                node,
+                f".{node.func.attr}() inside a loop reallocates per "
+                "iteration; hoist the concatenation out of the loop",
+            )
+
+
+def _check_loop_iter(node: ast.For, flag: _Flag) -> None:
+    iter_expr = node.iter
+    if isinstance(iter_expr, ast.Call) and isinstance(iter_expr.func, ast.Attribute):
+        if iter_expr.func.attr in _PER_ROW_METHODS:
+            flag(
+                node,
+                f"for-loop over .{iter_expr.func.attr}() walks tuples one "
+                "Python object at a time on the hot path",
+            )
+            return
+    if isinstance(iter_expr, ast.Call) and isinstance(iter_expr.func, ast.Name):
+        if iter_expr.func.id == "zip" and any(
+            isinstance(arg, ast.Starred) for arg in iter_expr.args
+        ):
+            flag(
+                node,
+                "for-loop over zip(*columns) builds per-row tuples on the "
+                "hot path; stay columnar",
+            )

@@ -1,0 +1,202 @@
+"""Rule: metrics coherence — every registered series is written
+somewhere and documented in the operations catalogue (and the
+catalogue names only real series)."""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from ..base import AnalysisConfig, Finding, Rule, register
+from ..project import Project
+
+__all__ = ["MetricsCoherenceRule"]
+
+#: Registration methods on the metrics registry.
+_REGISTER_METHODS = ("counter", "gauge", "histogram")
+#: Instrument methods that count as a write (increment/observe) site.
+_WRITE_METHODS = ("inc", "add", "set", "observe", "set_function")
+#: Series names in code and docs follow the Prometheus convention.
+_SERIES_RE = re.compile(r"\bsaber_[a-z0-9_]+\b")
+
+
+@dataclass
+class _Series:
+    """One registered metric series and what we know about it."""
+
+    name: str
+    path: str
+    line: int
+    attrs: set[str] = field(default_factory=set)
+    chained_write: bool = False
+
+
+@register
+class MetricsCoherenceRule(Rule):
+    """No dead or undocumented metric series."""
+
+    name = "metrics-coherence"
+    description = (
+        "Every series registered via registry.counter/gauge/histogram "
+        "must have at least one inc/add/set/observe/set_function site, "
+        "and must appear in the docs metric catalogue; the catalogue "
+        "must not name series that are never registered."
+    )
+
+    def check(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        """Cross-reference registrations, write sites, and the docs."""
+        series: dict[str, _Series] = {}
+        write_attrs: set[str] = set()
+
+        for mod in project.modules.values():
+            scan_registrations = config.in_metrics_scope(mod.name)
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call) or not isinstance(
+                    node.func, ast.Attribute
+                ):
+                    continue
+                attr = node.func.attr
+                if (
+                    scan_registrations
+                    and attr in _REGISTER_METHODS
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                ):
+                    name = node.args[0].value
+                    entry = series.setdefault(
+                        name, _Series(name=name, path=str(mod.path), line=node.lineno)
+                    )
+                    # self.attr = registry.counter("name", ...) binds the
+                    # series to an attribute we can match write sites on.
+                    parent = _assign_target_attr(mod.tree, node)
+                    if parent is not None:
+                        entry.attrs.add(parent)
+                elif attr in _WRITE_METHODS:
+                    owner = node.func.value
+                    if isinstance(owner, ast.Attribute):
+                        write_attrs.add(owner.attr)
+                    elif isinstance(owner, ast.Name):
+                        write_attrs.add(owner.id)
+                    elif isinstance(owner, ast.Call) and isinstance(
+                        owner.func, ast.Attribute
+                    ):
+                        # registry.counter("name").inc(...) — chained write.
+                        if (
+                            owner.func.attr in _REGISTER_METHODS
+                            and owner.args
+                            and isinstance(owner.args[0], ast.Constant)
+                            and isinstance(owner.args[0].value, str)
+                        ):
+                            chained = series.setdefault(
+                                owner.args[0].value,
+                                _Series(
+                                    name=owner.args[0].value,
+                                    path=str(mod.path),
+                                    line=node.lineno,
+                                ),
+                            )
+                            chained.chained_write = True
+
+        findings: list[Finding] = []
+        for entry in series.values():
+            if not entry.chained_write and not (entry.attrs & write_attrs):
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=entry.path,
+                        line=entry.line,
+                        symbol=entry.name,
+                        message=(
+                            f"metric series {entry.name!r} is registered but "
+                            "never incremented/observed anywhere"
+                        ),
+                    )
+                )
+
+        findings.extend(self._check_docs(project, config, series))
+        return findings
+
+    def _check_docs(
+        self, project: Project, config: AnalysisConfig, series: "dict[str, _Series]"
+    ) -> list[Finding]:
+        if config.metrics_catalogue is None or not series:
+            return []
+        if project.docs_dir is None:
+            anchor = next(iter(series.values()))
+            return [
+                Finding(
+                    rule=self.name,
+                    path=anchor.path,
+                    line=anchor.line,
+                    symbol=config.metrics_catalogue,
+                    message=(
+                        "no docs directory found, so the metric catalogue "
+                        f"({config.metrics_catalogue}) cannot be checked"
+                    ),
+                )
+            ]
+        catalogue = project.docs_dir / config.metrics_catalogue
+        if not catalogue.is_file():
+            anchor = next(iter(series.values()))
+            return [
+                Finding(
+                    rule=self.name,
+                    path=anchor.path,
+                    line=anchor.line,
+                    symbol=config.metrics_catalogue,
+                    message=f"metric catalogue {catalogue} does not exist",
+                )
+            ]
+        text = catalogue.read_text(encoding="utf-8")
+        documented = set(_SERIES_RE.findall(text))
+        findings: list[Finding] = []
+        for entry in series.values():
+            if entry.name not in documented:
+                findings.append(
+                    Finding(
+                        rule=self.name,
+                        path=entry.path,
+                        line=entry.line,
+                        symbol=entry.name,
+                        message=(
+                            f"metric series {entry.name!r} is missing from the "
+                            f"catalogue in {catalogue.name}"
+                        ),
+                    )
+                )
+        for name in sorted(documented - set(series)):
+            findings.append(
+                Finding(
+                    rule=self.name,
+                    path=str(catalogue),
+                    line=_line_of(text, name),
+                    symbol=name,
+                    message=(
+                        f"catalogue documents {name!r} but no such series is "
+                        "registered in the code"
+                    ),
+                )
+            )
+        return findings
+
+
+def _assign_target_attr(tree: ast.Module, call: ast.Call) -> "str | None":
+    """If ``call`` is the value of ``self.X = call`` (or ``X = call``),
+    return the bound attribute/variable name."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and node.value is call:
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    return target.attr
+                if isinstance(target, ast.Name):
+                    return target.id
+    return None
+
+
+def _line_of(text: str, needle: str) -> int:
+    for index, line in enumerate(text.splitlines(), start=1):
+        if needle in line:
+            return index
+    return 0

@@ -48,6 +48,7 @@ import threading
 from collections import deque
 from typing import Any, Callable, Iterator
 
+from ..analysis.lockdep import make_condition, make_lock
 from ..core.cql import compile_statement
 from ..core.engine import Report, SaberConfig, SaberEngine
 from ..core.query import Query
@@ -84,7 +85,7 @@ class QueryHandle:
         self._session = session
         self.query = query
         self.name = query.name
-        self._cond = threading.Condition()
+        self._cond = make_condition("api.session.QueryHandle._cond")
         self._chunks: "deque[TupleBatch]" = deque(maxlen=max_buffered)
         self._sinks: "list[Callable[[TupleBatch], None]]" = []
         self._sink_connectors: "list[SinkConnector]" = []
@@ -216,7 +217,7 @@ class SaberSession:
         self._default_tasks = tasks_per_query
         self._streams: "dict[str, Any]" = {}
         self._handles: "dict[str, QueryHandle]" = {}
-        self._lock = threading.Lock()
+        self._lock = make_lock("api.session.SaberSession._lock")
         self._target = 0            # cumulative tasks per query across runs
         self._report: "Report | None" = None
         self._thread: "threading.Thread | None" = None
@@ -224,7 +225,7 @@ class SaberSession:
         self._running = False
         self._run_seq = 0           # bumped per run; lets a stopper detect
                                     # that the run it targeted has ended
-        self._run_cond = threading.Condition(self._lock)
+        self._run_cond = make_condition("api.session.SaberSession._lock", lock=self._lock)
         self._run_done = threading.Event()   # set whenever no run is active
         self._run_done.set()
         self._closed = False

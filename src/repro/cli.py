@@ -12,7 +12,9 @@ Subcommands:
   delimited JSON frames over TCP, Prometheus metrics endpoint; see
   ``docs/operations.md`` for the runbook);
 * ``list`` — list the bundled application queries;
-* ``hardware`` — print the calibrated hardware spec.
+* ``hardware`` — print the calibrated hardware spec;
+* ``check`` — run the static project-invariant analyzer over a source
+  tree (``repro check src/``; see ``docs/analysis.md``).
 
 Examples::
 
@@ -216,6 +218,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list the bundled application queries")
     sub.add_parser("hardware", help="print the calibrated hardware spec")
+
+    # ``check`` owns its argument parsing (repro.analysis.cli); the stub
+    # here makes it show up in --help, while main() dispatches before
+    # this parser ever sees its arguments.
+    check = sub.add_parser(
+        "check",
+        help="static project-invariant analyzer (see docs/analysis.md)",
+        add_help=False,
+    )
+    check.add_argument("args", nargs=argparse.REMAINDER)
     return parser
 
 
@@ -383,6 +395,14 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 
 def main(argv: "list[str] | None" = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # Imported lazily: the analyzer is pure stdlib and must stay
+        # importable without the engine's numpy dependency tree.
+        from .analysis.cli import main as _check_main
+
+        return _check_main(list(argv[1:]))
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _command_list()

@@ -45,6 +45,7 @@ import threading
 import time
 from typing import TYPE_CHECKING
 
+from ..analysis.lockdep import make_condition, make_lock
 from ..errors import IngestInterrupted, SimulationError
 from ..sim.measurements import TaskRecord
 from .scheduler import CPU, GPU
@@ -68,8 +69,8 @@ class ThreadedExecutor:
         self.measurements = engine.measurements
         self.runs: "list[QueryRun]" = engine.runs
         self._run_by_query = {id(run.query): run for run in self.runs}
-        self._mutex = threading.Lock()
-        self._cond = threading.Condition(self._mutex)
+        self._mutex = make_lock("core.executor.ThreadedExecutor._mutex")
+        self._cond = make_condition("core.executor.ThreadedExecutor._mutex", lock=self._mutex)
         self.queue: "list[QueryTask]" = []
         self._inflight = 0
         self._dispatch_done = False

@@ -27,6 +27,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..analysis.lockdep import make_lock
 from ..errors import ExecutionError
 from ..operators.base import BatchResult
 from ..relational.tuples import TupleBatch
@@ -73,7 +74,7 @@ class ResultStage:
         self.on_emit = on_emit
         self._buffer: dict[int, _Slot] = {}
         self._next_task = 0
-        self._lock = threading.Lock()
+        self._lock = make_lock("core.result_stage.ResultStage._lock")
         self._pending: dict[int, Any] = {}  # window id -> merged payload
         self._closed_flags: set[int] = set()  # windows whose close was seen
         self.emitted: list[EmittedResult] = []

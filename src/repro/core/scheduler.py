@@ -28,6 +28,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from ..analysis.lockdep import make_lock
 from ..errors import SchedulingError
 from .task import QueryTask
 
@@ -53,7 +54,7 @@ class ThroughputMatrix:
         self._values: dict[tuple[str, str], float] = {}
         self._samples: dict[tuple[str, str], list[float]] = {}
         self._last_refresh = 0.0
-        self._lock = threading.Lock()
+        self._lock = make_lock("core.scheduler.ThroughputMatrix._lock")
         self.history: list[tuple[float, dict[tuple[str, str], float]]] = []
 
     def value(self, query: str, processor: str) -> float:

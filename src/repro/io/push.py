@@ -30,6 +30,7 @@ from typing import Any
 
 import numpy as np
 
+from ..analysis.lockdep import make_condition
 from ..errors import BackpressureError, EndOfStream, IngestInterrupted, ValidationError
 from ..relational.schema import Schema
 from ..relational.tuples import TupleBatch
@@ -67,7 +68,7 @@ class PushSource(SourceConnector):
         self._segments: "deque[np.ndarray]" = deque()
         self._queued = 0
         self._closed = False
-        self._cond = threading.Condition()
+        self._cond = make_condition("io.push.PushSource._cond")
         #: tuples evicted under the DROP_OLDEST policy.
         self.dropped_tuples = 0
 

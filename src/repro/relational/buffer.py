@@ -47,6 +47,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from ..analysis.lockdep import make_lock
 from ..errors import BackpressureError, BufferError_
 from .schema import Schema
 from .tuples import TupleBatch
@@ -184,7 +185,7 @@ class CircularTupleBuffer:
         self.capacity = int(capacity_tuples)
         self.backing = backing
         self._store = _make_store(backing, schema.dtype, self.capacity)
-        self._lock = threading.Lock()
+        self._lock = make_lock("relational.buffer.CircularTupleBuffer._lock")
 
     # -- state -------------------------------------------------------------
 

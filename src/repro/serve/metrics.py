@@ -39,6 +39,8 @@ import threading
 from bisect import bisect_right
 from typing import Any, Callable, Iterable
 
+from ..analysis.lockdep import make_lock
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -97,7 +99,7 @@ class _Instrument:
         self.name = name
         self.help_text = help_text
         self.unit = unit
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.metrics._Instrument._lock")
 
     def header(self) -> "list[str]":
         """The ``# HELP`` / ``# TYPE`` preamble lines for this series."""
@@ -318,7 +320,7 @@ class MetricsRegistry:
     CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.metrics.MetricsRegistry._lock")
         self._instruments: "dict[str, _Instrument]" = {}
 
     def _get_or_create(self, cls: type, name: str, *args: Any, **kwargs: Any):

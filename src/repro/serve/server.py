@@ -37,6 +37,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from ..analysis.lockdep import make_lock
 from ..errors import SaberError
 from .metrics import MetricsRegistry
 from .protocol import (
@@ -116,7 +117,7 @@ class SaberServer:
     ) -> None:
         self.config = config or ServeConfig()
         self.registry = registry or MetricsRegistry()
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.server.SaberServer._lock")
         self._tenants: "dict[str, Tenant]" = {}
         self._connections: "set[socket.socket]" = set()
         self._threads: "list[threading.Thread]" = []

@@ -39,6 +39,7 @@ import time
 from collections import deque
 from typing import Any
 
+from ..analysis.lockdep import make_condition, make_lock
 from ..api import SaberSession
 from ..errors import (
     BackpressureError,
@@ -103,7 +104,7 @@ class _ResultQueue:
     """Bounded backlog of one query's output chunks (rows as dicts)."""
 
     def __init__(self, cap: int) -> None:
-        self._cond = threading.Condition()
+        self._cond = make_condition("serve.tenants._ResultQueue._cond")
         self._chunks: "deque[list[dict[str, Any]]]" = deque()
         self._cap = cap
         #: chunks discarded because the backlog hit its cap.
@@ -172,7 +173,7 @@ class Tenant:
             task_size_bytes=quotas.task_size_bytes,
         )
         self.session.attach_metrics(SessionInstruments(registry, tenant=name))
-        self._lock = threading.Lock()
+        self._lock = make_lock("serve.tenants.Tenant._lock")
         self._streams: "dict[str, PushSource]" = {}
         self._queries: "dict[str, _ResultQueue]" = {}
         self._active = False

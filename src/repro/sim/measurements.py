@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.lockdep import make_lock
+
 
 @dataclass
 class TaskRecord:
@@ -40,7 +42,8 @@ class Measurements:
     #: worker's thread, outside the accounting lock — it must be cheap.
     on_task: "object | None" = field(default=None, repr=False, compare=False)
     _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+        default_factory=lambda: make_lock("sim.measurements.Measurements._lock"),
+        repr=False, compare=False
     )
 
     def record_task(self, record: TaskRecord) -> None:

@@ -1,0 +1,225 @@
+"""Runtime lockdep tests: tracked locks, edge recording, cycle
+detection, and the verify() comparison against a static edge set.
+
+Every test uses a private :class:`LockdepRegistry` (never the module
+singleton) so the tests stay independent of whether the suite itself
+runs under ``REPRO_LOCKDEP=1``.
+"""
+
+import threading
+
+from repro.analysis import lockdep
+from repro.analysis.graph import LockOrderGraph
+from repro.analysis.lockdep import (
+    LockdepRegistry,
+    TrackedLock,
+    make_condition,
+    make_lock,
+    verify,
+)
+
+
+class TestFactories:
+    def test_disabled_returns_plain_primitives(self, monkeypatch):
+        monkeypatch.delenv(lockdep.ENV_FLAG, raising=False)
+        assert isinstance(make_lock("x"), type(threading.Lock()))
+        assert isinstance(make_condition("x"), threading.Condition)
+        assert not lockdep.enabled()
+
+    def test_zero_counts_as_disabled(self, monkeypatch):
+        monkeypatch.setenv(lockdep.ENV_FLAG, "0")
+        assert not lockdep.enabled()
+        assert isinstance(make_lock("x"), type(threading.Lock()))
+
+    def test_enabled_returns_tracked_wrappers(self, monkeypatch):
+        monkeypatch.setenv(lockdep.ENV_FLAG, "1")
+        assert lockdep.enabled()
+        lock = make_lock("app.X")
+        assert isinstance(lock, TrackedLock)
+        assert lock.name == "app.X"
+        cond = make_condition("app.Y")
+        assert isinstance(cond, threading.Condition)
+
+    def test_condition_over_existing_lock_shares_it(self, monkeypatch):
+        monkeypatch.setenv(lockdep.ENV_FLAG, "1")
+        reg = LockdepRegistry()
+        lock = TrackedLock("app.Z", registry=reg)
+        cond = make_condition("app.Z", lock=lock)
+        with cond:
+            assert reg.held_names() == ("app.Z",)
+        assert reg.held_names() == ()
+
+
+class TestRegistry:
+    def test_nested_acquisition_records_edge(self):
+        reg = LockdepRegistry()
+        a = TrackedLock("A", registry=reg)
+        b = TrackedLock("B", registry=reg)
+        with a:
+            with b:
+                assert reg.held_names() == ("A", "B")
+        assert reg.edge_counts() == {("A", "B"): 1}
+        assert reg.acquisition_counts() == {"A": 1, "B": 1}
+
+    def test_release_order_need_not_be_lifo(self):
+        reg = LockdepRegistry()
+        a = TrackedLock("A", registry=reg)
+        b = TrackedLock("B", registry=reg)
+        c = TrackedLock("C", registry=reg)
+        a.acquire()
+        b.acquire()
+        a.release()
+        c.acquire()  # only B is held now
+        b.release()
+        c.release()
+        assert reg.edges() == {("A", "B"), ("B", "C")}
+
+    def test_threads_have_independent_stacks(self):
+        reg = LockdepRegistry()
+        a = TrackedLock("A", registry=reg)
+        b = TrackedLock("B", registry=reg)
+
+        def use(lock):
+            with lock:
+                pass
+
+        threads = [
+            threading.Thread(target=use, args=(a,)),
+            threading.Thread(target=use, args=(b,)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each thread held exactly one lock, so no edge exists.
+        assert reg.edges() == set()
+        assert reg.acquisition_counts() == {"A": 1, "B": 1}
+
+    def test_cross_thread_inversion_is_detected(self):
+        # Two threads acquiring {A, B} in opposite orders: each order is
+        # recorded per thread, and verify() must see the cycle even
+        # though the runs never actually deadlocked.
+        reg = LockdepRegistry()
+        a = TrackedLock("A", registry=reg)
+        b = TrackedLock("B", registry=reg)
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        def backward():
+            with b:
+                with a:
+                    pass
+
+        t1 = threading.Thread(target=forward)
+        t1.start()
+        t1.join()
+        t2 = threading.Thread(target=backward)
+        t2.start()
+        t2.join()
+        report = verify(reg.edge_counts(), [("A", "B"), ("B", "A")])
+        assert report.cycle is not None
+        assert not report.ok
+
+    def test_condition_wait_keeps_stack_truthful(self):
+        reg = LockdepRegistry()
+        lock = TrackedLock("L", registry=reg)
+        cond = threading.Condition(lock)
+        m = TrackedLock("M", registry=reg)
+        with cond:
+            cond.wait(timeout=0.01)  # releases and re-acquires L
+            with m:
+                pass
+        assert reg.held_names() == ()
+        assert reg.edges() == {("L", "M")}
+
+    def test_nonblocking_acquire_failure_records_nothing(self):
+        reg = LockdepRegistry()
+        lock = TrackedLock("L", registry=reg)
+        lock.acquire()
+        assert lock.locked()
+
+        def contend():
+            assert not lock.acquire(blocking=False)
+
+        t = threading.Thread(target=contend)
+        t.start()
+        t.join()
+        lock.release()
+        assert reg.acquisition_counts() == {"L": 1}
+
+    def test_reset_clears_everything(self):
+        reg = LockdepRegistry()
+        a = TrackedLock("A", registry=reg)
+        b = TrackedLock("B", registry=reg)
+        with a:
+            with b:
+                pass
+        reg.reset()
+        assert reg.edges() == set()
+        assert reg.acquisition_counts() == {}
+        assert reg.held_names() == ()
+
+
+class TestGraph:
+    def test_find_cycle_on_acyclic_graph(self):
+        graph = LockOrderGraph()
+        graph.add_edge("A", "B", "t")
+        graph.add_edge("B", "C", "t")
+        graph.add_edge("A", "C", "t")
+        assert graph.find_cycle() is None
+
+    def test_find_cycle_returns_closed_path(self):
+        graph = LockOrderGraph()
+        graph.add_edge("A", "B", "t")
+        graph.add_edge("B", "C", "t")
+        graph.add_edge("C", "A", "t")
+        cycle = graph.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {"A", "B", "C"}
+
+    def test_self_edges_are_ignored(self):
+        graph = LockOrderGraph()
+        graph.add_edge("A", "A", "reentrant")
+        assert graph.find_cycle() is None
+        assert graph.edge_pairs() == set()
+
+    def test_provenance_is_recorded(self):
+        graph = LockOrderGraph()
+        graph.add_edge("A", "B", "f:12")
+        graph.add_edge("A", "B", "g:40")
+        assert graph.provenance("A", "B") == ["f:12", "g:40"]
+
+
+class TestVerify:
+    def test_declared_edges_pass_and_unexercised_are_reported(self):
+        report = verify({("A", "B"): 3}, [("A", "B"), ("B", "C")])
+        assert report.ok
+        assert report.undeclared == []
+        assert report.unexercised == [("B", "C")]
+        assert "1 edges observed" in report.summary()
+
+    def test_undeclared_edge_fails(self):
+        report = verify({("X", "Y"): 1}, [])
+        assert not report.ok
+        assert report.undeclared == [("X", "Y")]
+        assert "undeclared edge: X -> Y" in report.summary()
+
+    def test_observed_cycle_fails_even_if_declared(self):
+        report = verify({("A", "B"): 1, ("B", "A"): 1}, [("A", "B"), ("B", "A")])
+        assert not report.ok
+        assert report.cycle is not None
+        assert "cycle" in report.summary()
+
+    def test_json_roundtrip(self):
+        import json
+
+        report = verify({("A", "B"): 2}, [("A", "B")], {"A": 2, "B": 2})
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is True
+        assert payload["observed_edges"] == {"A -> B": 2}
+        assert payload["acquisitions"] == {"A": 2, "B": 2}
+        assert payload["undeclared_edges"] == []

@@ -312,6 +312,9 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
+            # engine instances producing this record; the sharded
+            # cluster bench reports its fleet sizes here instead.
+            "shards": 1,
         },
         "outputs_equivalent": not mismatches,
         "mismatched_queries": mismatches,

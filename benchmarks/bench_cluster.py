@@ -1,0 +1,227 @@
+"""Cluster scaling benchmark: 1 -> 4 shard engines, one exact answer.
+
+Runs the cluster-eligible Table-1 workloads (GROUP-BY over the
+synthetic stream, CM1 over Google task events) through
+:class:`~repro.cluster.ClusterSession` at increasing shard counts and
+records, per leg:
+
+* **merged-output equivalence** — the merged bytes are compared against
+  a single-engine run over the *same materialised dataset*; the flag
+  must be true on every leg, and ``check_regression.py --cluster``
+  fails the build if it is not;
+* **throughput** — wall-clock tuples/s and bytes/s of the whole
+  partition -> shard -> merge pipeline.  The scaling story is told by
+  the ``processes``-backend legs (each shard's workers are real
+  processes, so shards scale past the GIL); the gate asserts the
+  4-shard/1-shard GROUP-BY ratio only on machines with at least 4
+  cores — below that "parallel" shards time-slice one core and the
+  ratio is noise;
+* **recovery accounting** — ``resubmits`` per leg: exactly 0 on
+  healthy legs (a resubmit on a healthy run means liveness
+  misdetection), and at least the injected kill on the kill leg, which
+  must still merge byte-identically.
+
+The record is written as JSON (``BENCH_PR8.json`` at the repo root is
+the committed run) and gated in CI by ``check_regression.py
+--cluster``.  ``--smoke`` shrinks the datasets for the CI job::
+
+    python benchmarks/bench_cluster.py                 # full run
+    python benchmarks/bench_cluster.py --smoke         # CI-sized
+    python benchmarks/check_regression.py --cluster BENCH_PR8.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.cluster import (  # noqa: E402 - path bootstrap above
+    CLUSTER_WORKLOADS,
+    ClusterSession,
+    materialise,
+    reference_output,
+    run_cluster,
+)
+from repro.io import PushSource  # noqa: E402
+
+#: (workload, shards, execution backend, transport, inject a kill)
+LEGS = (
+    ("GROUP-BY", 1, "threads", "local", False),
+    ("GROUP-BY", 2, "threads", "local", False),
+    ("GROUP-BY", 4, "threads", "local", False),
+    ("GROUP-BY", 1, "processes", "local", False),
+    ("GROUP-BY", 2, "processes", "local", False),
+    ("GROUP-BY", 4, "processes", "local", False),
+    ("CM1", 2, "threads", "local", False),
+    ("CM1", 2, "processes", "local", False),
+    ("GROUP-BY", 2, "threads", "serve", False),
+    ("GROUP-BY", 2, "threads", "local", True),
+)
+
+
+def leg_name(workload: str, shards: int, execution: str,
+             transport: str, kill: bool) -> str:
+    backend = "serve" if transport == "serve" else execution
+    suffix = "/kill" if kill else ""
+    return f"{workload}/shards{shards}/{backend}{suffix}"
+
+
+def run_paced_kill(workload, data, shards, execution, cpu_workers):
+    """Kill shard 0 deterministically mid-stream: push half the data,
+    wait for settled windows, kill, push the rest.  The post-kill
+    pushes are what *guarantee* the dead shard is hit and resubmitted —
+    a kill racing the tail of a fast run can otherwise land after the
+    drain and leave recovery unexercised."""
+    import numpy as np
+
+    source = PushSource(data.schema, capacity_tuples=1 << 16)
+    half = len(data) // 2
+    with ClusterSession(
+        shards=shards,
+        execution=execution,
+        cpu_workers=cpu_workers,
+        liveness_interval=0.05,
+    ) as session:
+        session.register_stream(workload.stream, source)
+        handle = session.sql(workload.cql, name=workload.name)
+        session.start()
+        session.push(workload.stream, data.take(np.arange(half)))
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            merge = session.stats().get("merge") or {}
+            if merge.get("merged_windows", 0) >= 2:
+                break
+            time.sleep(0.01)
+        session.kill_shard(0)
+        session.push(workload.stream, data.take(np.arange(half, len(data))))
+        session.close_stream(workload.stream)
+        session.wait(300.0)
+        return handle.output(), session.stats()
+
+
+def run_leg(workload, data, reference, shards, execution, transport,
+            kill, cpu_workers):
+    started = time.perf_counter()
+    if kill:
+        merged, stats = run_paced_kill(
+            workload, data, shards, execution, cpu_workers
+        )
+    else:
+        merged, stats = run_cluster(
+            workload,
+            data,
+            shards=shards,
+            execution=execution,
+            transport=transport,
+            cpu_workers=cpu_workers,
+        )
+    elapsed = time.perf_counter() - started
+    tuple_bytes = data.data.itemsize
+    equivalent = (
+        merged is not None
+        and reference is not None
+        and merged.data.tobytes() == reference.data.tobytes()
+    )
+    return {
+        "workload": workload.name,
+        "shards": shards,
+        "execution": execution,
+        "transport": transport,
+        "kill": kill,
+        "leg": leg_name(workload.name, shards, execution, transport, kill),
+        "tuples": len(data),
+        "elapsed_s": elapsed,
+        "throughput_tuples_per_s": len(data) / elapsed,
+        "throughput_bytes_per_s": len(data) * tuple_bytes / elapsed,
+        "output_rows": 0 if merged is None else len(merged),
+        "merged_windows": (stats.get("merge") or {}).get("merged_windows", 0),
+        "resubmits": stats.get("resubmits", 0),
+        "equivalent": equivalent,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized datasets (seconds, not minutes)")
+    parser.add_argument("--tuples", type=int, default=None,
+                        help="GROUP-BY dataset size (default: 2^20, "
+                             "2^16 under --smoke)")
+    parser.add_argument("--cm1-tuples", type=int, default=None,
+                        help="CM1 dataset size (default: 2^17, 2^14 "
+                             "under --smoke)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="workers per shard engine (default 2)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--output", type=Path,
+                        default=_ROOT / "BENCH_PR8.json")
+    args = parser.parse_args(argv)
+
+    groupby_tuples = args.tuples or (1 << 16 if args.smoke else 1 << 20)
+    cm1_tuples = args.cm1_tuples or (1 << 14 if args.smoke else 1 << 17)
+    sizes = {"GROUP-BY": groupby_tuples, "CM1": cm1_tuples}
+
+    datasets, references = {}, {}
+    for name, tuples in sizes.items():
+        workload = CLUSTER_WORKLOADS[name]
+        datasets[name] = materialise(workload, tuples, seed=args.seed)
+        references[name] = reference_output(
+            workload, datasets[name], cpu_workers=args.workers
+        )
+
+    results = []
+    for name, shards, execution, transport, kill in LEGS:
+        workload = CLUSTER_WORKLOADS[name]
+        row = run_leg(
+            workload, datasets[name], references[name],
+            shards, execution, transport, kill, args.workers,
+        )
+        results.append(row)
+        verdict = "ok" if row["equivalent"] else "MISMATCH"
+        print(
+            f"{row['leg']:<32} {row['throughput_tuples_per_s'] / 1e6:6.2f} "
+            f"Mtuples/s  windows={row['merged_windows']:<4} "
+            f"resubmits={row['resubmits']:.0f}  [{verdict}]"
+        )
+
+    record = {
+        "bench": "cluster_scaling",
+        "smoke": bool(args.smoke),
+        "config": {
+            "groupby_tuples": groupby_tuples,
+            "cm1_tuples": cm1_tuples,
+            "cpu_workers": args.workers,
+            "seed": args.seed,
+        },
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            #: shard counts this record exercised, recorded alongside
+            #: cpu_count: scaling ratios are only meaningful when the
+            #: machine can actually run the largest fleet in parallel.
+            "shards": sorted({shards for _, shards, *_ in LEGS}),
+        },
+        "results": results,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    broken = [r["leg"] for r in results if not r["equivalent"]]
+    if broken:
+        print(f"ERROR: merged output diverged from the single-engine run "
+              f"on {broken}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

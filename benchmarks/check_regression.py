@@ -31,6 +31,19 @@ A config drift between baseline and record (task sizes, worker counts)
 fails loudly instead of comparing apples to oranges; regenerate the
 baseline with ``--write-baseline`` after an intentional change.
 
+The cluster scaling record (``bench_cluster.py`` → ``BENCH_PR8.json``)
+is gated with ``--cluster``, invariants first: every leg's merged
+output must be byte-identical to the single-engine run over the same
+materialised dataset, healthy legs must report exactly zero resubmits
+(a resubmit without an injected kill is a liveness misdetection), and
+the kill leg must report at least one resubmit while still merging
+exactly.  The one throughput assertion — GROUP-BY at 4 shards at least
+``--cluster-min-scaling`` (default 1.8×) over 1 shard on the
+``processes`` legs — is skipped with a logged notice when the
+recording machine had fewer than 4 cores: time-sliced "parallel"
+shards make the ratio noise, the same starvation rule the wall-clock
+gate above applies.
+
 The serving-layer soak record (``bench_serve.py`` → ``BENCH_PR6.json``)
 is gated separately with ``--serve``: its assertions are *invariants*,
 not tolerances — exact delivery (every pushed row accounted for in the
@@ -44,6 +57,7 @@ Usage::
     python benchmarks/check_regression.py                    # gate
     python benchmarks/check_regression.py --write-baseline   # refresh
     python benchmarks/check_regression.py --serve BENCH_PR6.json
+    python benchmarks/check_regression.py --cluster BENCH_PR8.json
 """
 
 from __future__ import annotations
@@ -85,8 +99,14 @@ def build_baseline(record: dict) -> dict:
         "config": {k: record["config"][k] for k in _CONFIG_KEYS},
         # cpu_count of the recording machine: wall-clock gating is only
         # meaningful when both sides could actually run the pinned
-        # workers in parallel (see module docstring).
-        "machine": {"cpu_count": record.get("machine", {}).get("cpu_count")},
+        # workers in parallel (see module docstring).  Engine-instance
+        # count rides along for the same reason — a record produced by
+        # a sharded fleet is only comparable against a baseline sized
+        # the same way (single-engine records report 1).
+        "machine": {
+            "cpu_count": record.get("machine", {}).get("cpu_count"),
+            "shards": record.get("machine", {}).get("shards", 1),
+        },
         "entries": entries,
     }
 
@@ -160,6 +180,63 @@ def check(record: dict, baseline: dict, tolerance: float,
     return failures
 
 
+def check_cluster(record: dict, min_scaling: float) -> "list[str]":
+    """Invariant gate over a ``bench_cluster.py`` scaling record."""
+    failures = []
+    if record.get("bench") != "cluster_scaling":
+        return [f"not a cluster scaling record (bench={record.get('bench')!r})"]
+    results = record.get("results", [])
+    if not results:
+        return ["cluster record has no result legs"]
+    by_leg = {r["leg"]: r for r in results}
+    for leg, row in sorted(by_leg.items()):
+        if not row.get("equivalent"):
+            failures.append(
+                f"{leg}: merged output is NOT byte-identical to the "
+                "single-engine run — the cluster's core invariant"
+            )
+        if not row.get("kill") and row.get("resubmits", 0) != 0:
+            failures.append(
+                f"{leg}: {row['resubmits']:.0f} resubmit(s) on a healthy "
+                "leg — the liveness monitor misdetected a shard death"
+            )
+    kills = [r for r in results if r.get("kill")]
+    if not kills:
+        failures.append("cluster record has no kill leg: shard-failure "
+                        "recovery went unexercised")
+    for row in kills:
+        if row.get("resubmits", 0) < 1:
+            failures.append(
+                f"{row['leg']}: the injected kill produced no resubmit "
+                "(the failure path went unexercised; a late kill after "
+                "the run drained does not count)"
+            )
+    cores = record.get("machine", {}).get("cpu_count")
+    if cores is None or cores < 4:
+        print(
+            "notice: skipping the 4-shard scaling assertion — the "
+            f"recording machine had cpu_count={cores}, below the 4 cores "
+            "a 4-shard fleet needs to run in parallel (equivalence and "
+            "resubmit invariants are still gated)"
+        )
+        return failures
+    one = by_leg.get("GROUP-BY/shards1/processes")
+    four = by_leg.get("GROUP-BY/shards4/processes")
+    if one is None or four is None:
+        failures.append("cluster record is missing the GROUP-BY "
+                        "1-shard/4-shard processes legs the scaling "
+                        "assertion needs")
+        return failures
+    ratio = four["throughput_tuples_per_s"] / one["throughput_tuples_per_s"]
+    if ratio < min_scaling:
+        failures.append(
+            f"GROUP-BY 4-shard scaling {ratio:.2f}x is below the required "
+            f"{min_scaling:.2f}x over 1 shard (processes backend, "
+            f"cpu_count={cores})"
+        )
+    return failures
+
+
 def check_serve(record: dict, min_connections: int) -> "list[str]":
     """Invariant gate over a ``bench_serve.py`` soak record."""
     failures = []
@@ -227,9 +304,35 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-min-connections", type=int, default=200,
                         help="connection-count floor for --serve "
                              "(default 200; CI smoke lowers it)")
+    parser.add_argument("--cluster", type=Path, default=None, metavar="RECORD",
+                        help="gate a bench_cluster.py scaling record's "
+                             "invariants (merged-output equivalence, zero "
+                             "resubmit leaks, 4-shard scaling)")
+    parser.add_argument("--cluster-min-scaling", type=float, default=1.8,
+                        help="required GROUP-BY 4-shard/1-shard throughput "
+                             "ratio for --cluster (default 1.8; skipped "
+                             "below 4 cores)")
     args = parser.parse_args(argv)
     if not (0.0 < args.tolerance < 1.0):
         parser.error(f"--tolerance must be in (0, 1), got {args.tolerance}")
+
+    if args.cluster is not None:
+        record = json.loads(args.cluster.read_text())
+        failures = check_cluster(record, args.cluster_min_scaling)
+        if failures:
+            print(f"CLUSTER GATE FAILED ({len(failures)} finding(s)):",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        legs = len(record["results"])
+        kills = sum(1 for r in record["results"] if r.get("kill"))
+        print(
+            f"cluster gate passed: {legs} legs byte-identical to the "
+            f"single-engine run, zero resubmit leaks, {kills} kill "
+            "leg(s) recovered exactly"
+        )
+        return 0
 
     if args.serve is not None:
         record = json.loads(args.serve.read_text())

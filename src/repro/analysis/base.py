@@ -169,13 +169,16 @@ def inline_suppressions(source_lines: list[str]) -> "dict[int, set[str]]":
 # ---------------------------------------------------------------------------
 
 LOCK_ORDER: tuple[str, ...] = (
+    "cluster.session.ClusterSession._lock",
     "serve.server.SaberServer._lock",
     "serve.tenants.Tenant._lock",
+    "cluster.coordinator.ClusterCoordinator._lock",
     "api.session.SaberSession._lock",
     "core.executor.ThreadedExecutor._mutex",
     "core.result_stage.ResultStage._lock",
     "api.session.QueryHandle._cond",
     "serve.tenants._ResultQueue._cond",
+    "cluster.merge.MergeStage._cond",
     "io.push.PushSource._cond",
     "relational.buffer.CircularTupleBuffer._lock",
     "core.scheduler.ThroughputMatrix._lock",
@@ -230,6 +233,27 @@ DECLARED_EDGES: tuple[DeclaredEdge, ...] = (
         "callbacks via Gauge.set_function.",
     ),
     DeclaredEdge(
+        "core.result_stage.ResultStage._lock",
+        "cluster.merge.MergeStage._cond",
+        "Shard window sinks (ResultStage.on_window) are wired to "
+        "MergeStage.on_window, which records the report under the merge "
+        "condition.",
+    ),
+    DeclaredEdge(
+        "cluster.merge.MergeStage._cond",
+        "serve.metrics._Instrument._lock",
+        "MergeStage._advance fires on_emit under the merge condition; "
+        "the coordinator's hook counts merged windows/rows on cluster "
+        "metrics instruments.",
+    ),
+    DeclaredEdge(
+        "cluster.session.ClusterSession._lock",
+        "serve.metrics._Instrument._lock",
+        "ClusterSession.sql runs ClusterCoordinator.submit under the "
+        "session lock; submit installs merge-lag gauge callbacks via "
+        "Gauge.set_function.",
+    ),
+    DeclaredEdge(
         "serve.tenants.Tenant._lock",
         "io.push.PushSource._cond",
         "Tenant.stats snapshots per-stream queue depth while holding "
@@ -275,6 +299,7 @@ DEFAULT_CONFIG = AnalysisConfig(
     lock_modules=(
         "core",
         "serve",
+        "cluster",
         "relational.buffer",
         "api.session",
         "io.push",
@@ -290,7 +315,7 @@ DEFAULT_CONFIG = AnalysisConfig(
         "core.executor",
         "core.executor_mp",
     ),
-    metrics_modules=("serve",),
+    metrics_modules=("serve", "cluster"),
     metrics_catalogue="operations.md",
     annotation_modules=("analysis", "serve.protocol"),
 )

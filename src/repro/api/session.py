@@ -143,6 +143,19 @@ class QueryHandle:
             )
         return self
 
+    def add_window_sink(
+        self, sink: "Callable[[int, TupleBatch], None]"
+    ) -> "QueryHandle":
+        """Register a per-*window* sink: called as ``sink(wid, rows)``
+        for every finalised window with non-empty rows, in strictly
+        increasing window-id order, on the emitting worker's thread (see
+        :attr:`~repro.core.result_stage.ResultStage.on_window`).  Only
+        windows routed through the assembly path surface here — set
+        ``query.force_assembly`` before submitting to see every window
+        (the cluster shard contract).  One sink per query."""
+        self._session._engine_run(self.query).result_stage.on_window = sink
+        return self
+
     @property
     def done(self) -> bool:
         """Whether this query's finite stream is fully processed: the

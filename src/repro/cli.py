@@ -215,6 +215,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0,
         help="graceful-drain backstop per tenant on SIGTERM, in seconds",
     )
+    serve.add_argument(
+        "--tenant-idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="evict tenant sessions idle for SECONDS (drains their "
+             "queries first; omit to keep idle tenants forever)",
+    )
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="run a workload key-partitioned over N shard engines and "
+             "check the merged output against a single engine",
+    )
+    cluster.add_argument(
+        "--workload", choices=["GROUP-BY", "CM1"], default="GROUP-BY",
+        help="cluster-eligible Table-1 workload",
+    )
+    cluster.add_argument(
+        "--shards", type=int, default=2, help="shard engine count"
+    )
+    cluster.add_argument(
+        "--transport", choices=["local", "serve"], default="local",
+        help="shard transport: in-process engines or spawned "
+             "'repro serve' daemons",
+    )
+    cluster.add_argument(
+        "--execution", choices=["threads", "processes"], default="threads",
+        help="engine backend inside each local shard",
+    )
+    cluster.add_argument(
+        "--tuples", type=int, default=1 << 15,
+        help="stream prefix length to process",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=2, help="CPU workers per shard"
+    )
+    cluster.add_argument("--seed", type=int, default=1, help="workload seed")
+    cluster.add_argument(
+        "--kill-shard", type=int, default=None, metavar="SLOT",
+        help="failure injection: kill shard SLOT mid-run and recover it",
+    )
+    cluster.add_argument(
+        "--skip-check", action="store_true",
+        help="skip the single-engine equivalence check",
+    )
 
     sub.add_parser("list", help="list the bundled application queries")
     sub.add_parser("hardware", help="print the calibrated hardware spec")
@@ -382,6 +425,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         execution=args.execution,
         stats_interval=args.stats,
         drain_timeout=args.drain_timeout,
+        tenant_idle_timeout=args.tenant_idle_timeout,
     )
     server = SaberServer(config).start()
     host, port = server.address
@@ -392,6 +436,48 @@ def _command_serve(args: argparse.Namespace) -> int:
     server.install_signal_handlers()
     server.serve_forever()   # returns after a SIGTERM/SIGINT drain
     return 0
+
+
+def _command_cluster(args: argparse.Namespace) -> int:
+    # Imported here: the cluster layer is only needed by this subcommand.
+    from .cluster import (
+        CLUSTER_WORKLOADS,
+        materialise,
+        reference_output,
+        run_cluster,
+    )
+
+    workload = CLUSTER_WORKLOADS[args.workload]
+    data = materialise(workload, args.tuples, seed=args.seed)
+    merged, stats = run_cluster(
+        workload,
+        data,
+        kill_slot=args.kill_shard,
+        shards=args.shards,
+        transport=args.transport,
+        execution=args.execution,
+        cpu_workers=args.workers,
+    )
+    merge = stats["merge"] or {}
+    print(
+        f"{workload.name}: {args.tuples} tuples over {args.shards} "
+        f"{args.transport} shard(s), {merge.get('merged_windows', 0)} "
+        f"windows / {merge.get('merged_rows', 0)} rows merged, "
+        f"{int(stats['resubmits'])} resubmit(s)"
+    )
+    if args.skip_check:
+        return 0
+    reference = reference_output(workload, data, cpu_workers=args.workers)
+    ref_bytes = reference.to_bytes() if reference is not None else b""
+    out_bytes = merged.to_bytes() if merged is not None else b""
+    if ref_bytes == out_bytes:
+        print("merged output is byte-identical to the single-engine run")
+        return 0
+    print(
+        "MISMATCH: merged output differs from the single-engine run "
+        f"({len(out_bytes)} vs {len(ref_bytes)} bytes)"
+    )
+    return 1
 
 
 def main(argv: "list[str] | None" = None) -> int:
@@ -414,6 +500,8 @@ def main(argv: "list[str] | None" = None) -> int:
         return _command_record(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "cluster":
+        return _command_cluster(args)
     return _command_run(args)
 
 

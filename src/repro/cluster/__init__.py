@@ -1,0 +1,44 @@
+"""Key-partitioned multi-engine clustering.
+
+One keyed stream, N SABER engines, one byte-exact answer: the
+coordinator hash-partitions a stream across shard engines (in-process
+or spawned ``repro serve`` daemons), runs the same compiled GROUP-BY
+query on every shard, and the global merge stage recombines per-window
+results into output byte-identical to a single-engine run — including
+across shard failures, whose key ranges are resubmitted onto
+replacement engines from the coordinator's retained log.
+
+Start with :class:`ClusterSession`, the cluster mirror of
+:class:`~repro.api.SaberSession`; see ``docs/architecture.md`` for the
+design and ``docs/operations.md`` for the runbook.
+"""
+
+from .coordinator import ClusterConfig, ClusterCoordinator
+from .merge import MergeStage
+from .partitioner import HashPartitioner, Partitioner
+from .session import ClusterHandle, ClusterSession
+from .shards import LocalShard, ProcessShard
+from .workloads import (
+    CLUSTER_WORKLOADS,
+    ClusterWorkload,
+    materialise,
+    reference_output,
+    run_cluster,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterHandle",
+    "ClusterSession",
+    "ClusterWorkload",
+    "CLUSTER_WORKLOADS",
+    "HashPartitioner",
+    "LocalShard",
+    "MergeStage",
+    "Partitioner",
+    "ProcessShard",
+    "materialise",
+    "reference_output",
+    "run_cluster",
+]

@@ -594,6 +594,7 @@ class SaberEngine:
                         ref.stop,
                         timestamps=timestamps,
                         previous_last_timestamp=ref.previous_last_timestamp,
+                        force_assembly=query.force_assembly,
                     )
                 slices.append(StreamSlice(batch, windows, ref.start))
             return slices, None, {}, 0

@@ -76,6 +76,15 @@ class Query:
     #: user-visible (unfused) plan.  Outputs are bitwise-identical
     #: either way — fusion only removes intermediate materialisations.
     fused_operator: "Operator | None" = field(default=None, repr=False, compare=False)
+    #: route *every* window through the result stage's assembly path
+    #: (window fragments fully inside one task — COMPLETE — are
+    #: classified CLOSING instead of taking the complete-batch fast
+    #: path).  The total output is unchanged, only chunk boundaries
+    #: move; what this buys is a window id on every emitted window,
+    #: which the cluster's ordered merge stage needs
+    #: (:meth:`~repro.core.result_stage.ResultStage.on_window`).  Shard
+    #: sessions set it; single-engine runs keep the fast path.
+    force_assembly: bool = field(default=False, repr=False, compare=False)
     query_id: int = field(default_factory=lambda: next(_query_ids))
 
     def __post_init__(self) -> None:

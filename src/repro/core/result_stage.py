@@ -85,6 +85,15 @@ class ResultStage:
         #: on the emitting worker's thread and under the result-stage lock —
         #: it must be cheap (counter increments, histogram observations).
         self.on_metrics = None
+        #: optional per-window sink: called as ``on_window(wid, rows)``
+        #: for every finalised window with non-empty rows, in strictly
+        #: increasing window-id order (windows close in timestamp order
+        #: and tasks drain in task order).  Fired on the emitting worker's
+        #: thread — under the result-stage lock in :meth:`submit`, outside
+        #: it in :meth:`flush`.  Only windows that travel the assembly
+        #: path surface here; set :attr:`Query.force_assembly` to route
+        #: COMPLETE fragments through it too (the cluster merge contract).
+        self.on_window: "Callable[[int, TupleBatch], None] | None" = None
 
     # -- stage entry -----------------------------------------------------------
 
@@ -144,6 +153,8 @@ class ResultStage:
                 payload = merged
             rows = operator.finalize_window(wid, payload)
             if rows is not None and len(rows):
+                if self.on_window is not None:
+                    self.on_window(wid, rows)
                 chunks.append(rows)
         if result.complete is not None and len(result.complete):
             chunks.append(result.complete)
@@ -201,6 +212,8 @@ class ResultStage:
                 payload = merged
             rows = operator.finalize_window(wid, payload)
             if rows is not None and len(rows):
+                if self.on_window is not None:
+                    self.on_window(wid, rows)
                 chunks.append(rows)
         if not chunks:
             return []

@@ -72,16 +72,22 @@ class ServeClient:
             raise ProtocolError("closed", "client is closed")
         self._sock.sendall(encode_frame(frame))
         chunks: "list[list[dict[str, Any]]]" = []
+        windows: "list[int | None]" = []
         while True:
             reply = self._read_frame()
             if reply["type"] == "chunk":
                 chunks.append(reply["rows"])
+                windows.append(reply.get("window"))
                 continue
             if reply["type"] == "error":
                 raise ProtocolError(reply.get("code", "internal"), reply.get("message", ""))
             if reply["type"] == "ok":
                 if chunks:
-                    reply = {**reply, "chunks_rows": chunks}
+                    reply = {
+                        **reply,
+                        "chunks_rows": chunks,
+                        "chunks_windows": windows,
+                    }
                 return reply
             raise ProtocolError(
                 "bad-frame", f"unexpected server frame type {reply['type']!r}"
@@ -104,11 +110,19 @@ class ServeClient:
             frame["policy"] = policy
         return self.request(frame)
 
-    def submit(self, cql: str, name: "str | None" = None) -> "dict[str, Any]":
-        """Submit a CQL statement; returns ``{"query": ..., "schema": ...}``."""
+    def submit(
+        self, cql: str, name: "str | None" = None, windows: bool = False
+    ) -> "dict[str, Any]":
+        """Submit a CQL statement; returns ``{"query": ..., "schema": ...}``.
+
+        ``windows=True`` requests per-window result chunks, each tagged
+        with its global window id (drain them via
+        :meth:`window_results`)."""
         frame: "dict[str, Any]" = {"type": "submit", "cql": cql}
         if name is not None:
             frame["name"] = name
+        if windows:
+            frame["windows"] = True
         return self.request(frame)
 
     def push(self, stream: str, rows: "list[Any]") -> int:
@@ -134,6 +148,27 @@ class ServeClient:
             }
         )
         return reply.get("chunks_rows", []), bool(reply["done"])
+
+    def window_results(
+        self,
+        query: str,
+        max_chunks: int = 16,
+        timeout: float = 5.0,
+    ) -> "tuple[list[tuple[int | None, list[dict[str, Any]]]], bool]":
+        """Like :meth:`results` for windows-mode queries: returns
+        ``([(window_id, rows), ...], done)`` with each chunk's global
+        window id (``None`` for chunks of a non-windows query)."""
+        reply = self.request(
+            {
+                "type": "results",
+                "query": query,
+                "max_chunks": max_chunks,
+                "timeout": timeout,
+            }
+        )
+        rows = reply.get("chunks_rows", [])
+        windows = reply.get("chunks_windows", [None] * len(rows))
+        return list(zip(windows, rows)), bool(reply["done"])
 
     def close_stream(self, stream: str) -> None:
         """Signal end-of-stream on one of this tenant's streams."""

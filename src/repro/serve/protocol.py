@@ -10,7 +10,10 @@ raw tuples to a small verb set.  Client-to-server frames carry a
 ``register``   register a push stream: ``stream``, ``schema`` (a
                ``"name:type, ..."`` spec), optional ``capacity`` (tuples)
                and ``policy`` (``block``/``error``/``drop_oldest``)
-``submit``     submit a CQL statement: ``cql``, optional ``name``
+``submit``     submit a CQL statement: ``cql``, optional ``name``; optional
+               ``windows`` (bool) asks for *per-window* result chunks, each
+               ``chunk`` frame then carrying the global window id in a
+               ``window`` field (the cluster shard transport)
 ``push``       ingest rows: ``stream``, ``rows`` (list of objects keyed by
                attribute name, or arrays in schema order)
 ``results``    drain ordered output chunks: ``query``, optional
@@ -91,6 +94,7 @@ _FRAME_FIELDS: "dict[str, dict[str, tuple[tuple[type, ...], bool]]]" = {
     "submit": {
         "cql": ((str,), True),
         "name": ((str,), False),
+        "windows": ((bool,), False),
     },
     "push": {
         "stream": ((str,), True),
@@ -188,6 +192,12 @@ def error_frame(code: str, message: str) -> "dict[str, Any]":
     return {"type": "error", "code": code, "message": message}
 
 
-def chunk_frame(query: str, rows: "list[dict[str, Any]]") -> "dict[str, Any]":
-    """One ordered output chunk of a ``results`` request."""
-    return {"type": "chunk", "query": query, "rows": rows}
+def chunk_frame(
+    query: str, rows: "list[dict[str, Any]]", window: "int | None" = None
+) -> "dict[str, Any]":
+    """One ordered output chunk of a ``results`` request.  ``window``
+    tags the chunk with its global window id (windows-mode queries)."""
+    frame = {"type": "chunk", "query": query, "rows": rows}
+    if window is not None:
+        frame["window"] = int(window)
+    return frame

@@ -34,6 +34,7 @@ import dataclasses
 import logging
 import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -77,6 +78,13 @@ class ServeConfig:
     stats_interval: "float | None" = None
     #: graceful-drain backstop per tenant on shutdown, in seconds.
     drain_timeout: float = 30.0
+    #: evict tenant sessions that have not seen a client frame for this
+    #: many seconds (``None`` disables eviction).  An evicted tenant is
+    #: drained like a shutdown — streams closed, tails flushed, engine
+    #: resources released — and counted on
+    #: ``saber_server_tenants_evicted_total``; a later ``hello`` for the
+    #: same name admits a fresh session.
+    tenant_idle_timeout: "float | None" = None
 
 
 class _MetricsHandler(BaseHTTPRequestHandler):
@@ -143,6 +151,10 @@ class SaberServer:
             "saber_server_errors_total",
             "Error frames returned, by error code.",
         )
+        self.tenants_evicted = self.registry.counter(
+            "saber_server_tenants_evicted_total",
+            "Tenant sessions evicted by the idle timeout.",
+        )
         self.tenants_gauge.set_function(lambda: len(self._tenants))
         self.connections_gauge.set_function(lambda: len(self._connections))
 
@@ -183,6 +195,12 @@ class SaberServer:
             )
             stats.start()
             self._threads.append(stats)
+        if self.config.tenant_idle_timeout:
+            evict = threading.Thread(
+                target=self._eviction_loop, name="serve-evict", daemon=True
+            )
+            evict.start()
+            self._threads.append(evict)
         logger.info(
             "repro serve listening on %s:%d (metrics: %s)",
             *self.address,
@@ -320,6 +338,38 @@ class SaberServer:
             },
         }
 
+    def _eviction_loop(self) -> None:
+        """Evict tenants idle beyond ``tenant_idle_timeout``.
+
+        Runs until shutdown; eviction is a graceful per-tenant drain, so
+        an idle-but-active tenant's queued tail is still processed and
+        its windows flushed before the engine resources are released.
+        """
+        timeout = self.config.tenant_idle_timeout
+        assert timeout is not None
+        interval = max(min(timeout / 4.0, 1.0), 0.05)
+        while not self._stats_stop.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                if self._draining:
+                    return
+                idle = [
+                    tenant
+                    for tenant in self._tenants.values()
+                    if now - tenant.last_activity > timeout
+                ]
+                for tenant in idle:
+                    del self._tenants[tenant.name]
+            for tenant in idle:
+                self.tenants_evicted.inc(tenant=tenant.name)
+                logger.info("evicting idle tenant %r", tenant.name)
+                try:
+                    tenant.shutdown(
+                        drain=True, drain_timeout=self.config.drain_timeout
+                    )
+                except SaberError as exc:
+                    logger.warning("tenant %r eviction: %s", tenant.name, exc)
+
     def _stats_loop(self) -> None:
         while not self._stats_stop.wait(self.config.stats_interval):
             snapshot = self.stats()
@@ -403,6 +453,8 @@ class SaberServer:
                 except SaberError as exc:
                     self.errors_total.inc(code="internal")
                     self._send(conn, error_frame("internal", str(exc)))
+                if tenant is not None:
+                    tenant.touch()
         except (OSError, ValueError):
             return  # connection torn down mid-frame
         finally:
@@ -449,7 +501,11 @@ class SaberServer:
             )
             self._send(conn, ok_frame(**fields))
         elif kind == "submit":
-            fields = tenant.submit(frame["cql"], name=frame.get("name"))
+            fields = tenant.submit(
+                frame["cql"],
+                name=frame.get("name"),
+                windows=frame.get("windows", False),
+            )
             self._send(conn, ok_frame(**fields))
         elif kind == "push":
             accepted = tenant.push(frame["stream"], frame["rows"])
@@ -460,8 +516,16 @@ class SaberServer:
                 max_chunks=frame.get("max_chunks", 16),
                 timeout=float(frame.get("timeout", 5.0)),
             )
-            for rows in chunks:
-                self._send(conn, chunk_frame(frame["query"], rows))
+            for entry in chunks:
+                if isinstance(entry, dict):  # windows-mode: {"window", "rows"}
+                    self._send(
+                        conn,
+                        chunk_frame(
+                            frame["query"], entry["rows"], window=entry["window"]
+                        ),
+                    )
+                else:
+                    self._send(conn, chunk_frame(frame["query"], entry))
             self._send(
                 conn, ok_frame(query=frame["query"], chunks=len(chunks), done=done)
             )

@@ -34,7 +34,6 @@ frame — ``block`` applies backpressure to the pushing client,
 from __future__ import annotations
 
 import dataclasses
-import threading
 import time
 from collections import deque
 from typing import Any
@@ -101,16 +100,20 @@ class TenantQuotas:
 
 
 class _ResultQueue:
-    """Bounded backlog of one query's output chunks (rows as dicts)."""
+    """Bounded backlog of one query's output chunks.
+
+    Entries are row lists (rows as dicts); windows-mode queries queue
+    ``{"window": wid, "rows": [...]}`` dicts instead.
+    """
 
     def __init__(self, cap: int) -> None:
         self._cond = make_condition("serve.tenants._ResultQueue._cond")
-        self._chunks: "deque[list[dict[str, Any]]]" = deque()
+        self._chunks: "deque[Any]" = deque()
         self._cap = cap
         #: chunks discarded because the backlog hit its cap.
         self.dropped = 0
 
-    def append(self, rows: "list[dict[str, Any]]") -> bool:
+    def append(self, rows: Any) -> bool:
         """Queue one chunk; returns False if an oldest chunk was dropped."""
         with self._cond:
             clean = True
@@ -131,13 +134,11 @@ class _ResultQueue:
         with self._cond:
             return len(self._chunks)
 
-    def drain(
-        self, max_chunks: int, timeout: float, done: Any
-    ) -> "list[list[dict[str, Any]]]":
+    def drain(self, max_chunks: int, timeout: float, done: Any) -> "list[Any]":
         """Up to ``max_chunks`` chunks, waiting ``timeout`` seconds for
         the first one unless ``done()`` says the query has completed."""
         deadline = time.monotonic() + timeout
-        chunks: "list[list[dict[str, Any]]]" = []
+        chunks: "list[Any]" = []
         with self._cond:
             while not self._chunks:
                 if done():
@@ -178,6 +179,10 @@ class Tenant:
         self._queries: "dict[str, _ResultQueue]" = {}
         self._active = False
         self._closed = False
+        #: monotonic timestamp of the last client frame touching this
+        #: tenant; the server's idle-eviction loop compares it against
+        #: :attr:`~repro.serve.server.ServeConfig.tenant_idle_timeout`.
+        self.last_activity = time.monotonic()
         self.ingest_rows = registry.counter(
             "saber_ingest_rows_total",
             "Rows accepted into ingress queues via push frames.",
@@ -258,8 +263,23 @@ class Tenant:
                 "policy": chosen.value,
             }
 
-    def submit(self, cql: str, name: "str | None" = None) -> "dict[str, Any]":
-        """Compile and submit a CQL statement; returns ``ok`` fields."""
+    def touch(self) -> None:
+        """Record client activity (any frame) for idle-timeout eviction."""
+        self.last_activity = time.monotonic()
+
+    def submit(
+        self, cql: str, name: "str | None" = None, windows: bool = False
+    ) -> "dict[str, Any]":
+        """Compile and submit a CQL statement; returns ``ok`` fields.
+
+        ``windows=True`` switches the query to per-window delivery: the
+        engine routes every window through the result-stage assembly
+        path (:attr:`~repro.core.query.Query.force_assembly`) and the
+        backlog queues ``{"window": wid, "rows": [...]}`` entries — one
+        per finalised window, in strictly increasing window-id order —
+        instead of plain row lists.  The rows are byte-for-byte the same
+        either way; this is the cluster coordinator's remote-shard
+        transport."""
         with self._lock:
             self._check_open()
             if self._active:
@@ -286,11 +306,22 @@ class Tenant:
                 raise ProtocolError("bad-cql", str(exc)) from None
             except (QueryError, SchemaError, SessionError) as exc:
                 raise ProtocolError("bad-cql", str(exc)) from None
-            handle.add_sink(
-                lambda batch, _b=backlog, _q=query_name: self._on_chunk(
-                    _q, _b, batch
+            if windows:
+                handle.query.force_assembly = True
+                handle.add_window_sink(
+                    lambda wid, rows, _b=backlog, _q=query_name: self._on_window(
+                        _q, _b, wid, rows
+                    )
                 )
-            )
+                # The window sink carries every output row; a no-op row
+                # sink keeps the handle from double-buffering chunks.
+                handle.add_sink(lambda batch: None)
+            else:
+                handle.add_sink(
+                    lambda batch, _b=backlog, _q=query_name: self._on_chunk(
+                        _q, _b, batch
+                    )
+                )
             self._queries[query_name] = backlog
             self.backlog_depth.set_function(
                 lambda b=backlog: len(b), tenant=self.name, query=query_name
@@ -307,6 +338,14 @@ class Tenant:
         """Per-query sink: runs on the emitting worker thread — only
         materialise and enqueue here."""
         if not backlog.append(batch_to_rows(batch)):
+            self.backlog_dropped.inc(tenant=self.name, query=query)
+
+    def _on_window(
+        self, query: str, backlog: _ResultQueue, wid: int, rows: Any
+    ) -> None:
+        """Windows-mode sink: one backlog entry per finalised window."""
+        entry = {"window": int(wid), "rows": batch_to_rows(rows)}
+        if not backlog.append(entry):
             self.backlog_dropped.inc(tenant=self.name, query=query)
 
     # -- the data plane --------------------------------------------------------

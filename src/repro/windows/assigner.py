@@ -164,10 +164,23 @@ def assign_windows(
     batch_end: int,
     timestamps: "np.ndarray | None" = None,
     previous_last_timestamp: "int | None" = None,
+    force_assembly: bool = False,
 ) -> WindowSet:
-    """Dispatch to the count- or time-based assigner for one batch."""
+    """Dispatch to the count- or time-based assigner for one batch.
+
+    ``force_assembly`` downgrades COMPLETE fragments to CLOSING, so every
+    window travels through the result stage's assembly path and surfaces
+    with its window id (the cluster merge contract); the emitted rows are
+    identical either way since a CLOSING fragment covering the whole
+    window finalises from exactly the same fragment table.
+    """
     if window.is_count_based:
-        return assign_count_windows(window, batch_start, batch_end)
-    if timestamps is None:
-        raise WindowError("time-based windows require batch timestamps")
-    return assign_time_windows(window, timestamps, previous_last_timestamp)
+        windows = assign_count_windows(window, batch_start, batch_end)
+    else:
+        if timestamps is None:
+            raise WindowError("time-based windows require batch timestamps")
+        windows = assign_time_windows(window, timestamps, previous_last_timestamp)
+    if force_assembly and len(windows):
+        complete = windows.states == int(FragmentState.COMPLETE)
+        windows.states[complete] = int(FragmentState.CLOSING)
+    return windows

@@ -1,0 +1,423 @@
+"""Key-partitioned cluster tests (`repro.cluster`).
+
+The anchor invariant throughout: the merged cluster output is
+*byte-identical* to a single-engine run over the same materialised
+dataset — across shard counts, shard backends, the serve transport,
+pre-ingest rebalances, and a mid-stream shard kill with resubmit.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CLUSTER_WORKLOADS,
+    ClusterCoordinator,
+    ClusterSession,
+    HashPartitioner,
+    MergeStage,
+    materialise,
+    reference_output,
+    run_cluster,
+)
+from repro.errors import (
+    ExecutionError,
+    SessionError,
+    ValidationError,
+)
+from repro.io import PushSource
+from repro.relational.schema import Schema
+from repro.relational.tuples import TupleBatch
+from repro.workloads.synthetic import SyntheticSource
+
+GROUP_BY = CLUSTER_WORKLOADS["GROUP-BY"]
+CM1 = CLUSTER_WORKLOADS["CM1"]
+
+#: small enough for tier-1, large enough for several windows per shard.
+GROUP_BY_TUPLES = 1 << 15  # 32 seconds of stream -> 8 tumbling windows
+CM1_TUPLES = 1 << 13
+
+
+def assert_byte_identical(merged, reference):
+    """The cluster contract: merged bytes == single-engine bytes."""
+    assert reference is not None, "reference run produced no output"
+    assert merged is not None, "cluster run produced no output"
+    assert merged.data.dtype == reference.data.dtype
+    assert merged.data.tobytes() == reference.data.tobytes()
+
+
+@pytest.fixture(scope="module")
+def groupby_data():
+    return materialise(GROUP_BY, GROUP_BY_TUPLES)
+
+
+@pytest.fixture(scope="module")
+def groupby_reference(groupby_data):
+    return reference_output(GROUP_BY, groupby_data)
+
+
+@pytest.fixture(scope="module")
+def cm1_data():
+    return materialise(CM1, CM1_TUPLES)
+
+
+@pytest.fixture(scope="module")
+def cm1_reference(cm1_data):
+    return reference_output(CM1, cm1_data)
+
+
+# -- partitioner ---------------------------------------------------------------
+
+KEYED = Schema.parse("timestamp:long, k:int, x:float", name="Keyed")
+
+
+def keyed_batch(n, start=0, key_mod=16):
+    return TupleBatch.from_columns(
+        KEYED,
+        timestamp=np.arange(start, start + n, dtype=np.int64),
+        k=(np.arange(start, start + n, dtype=np.int32) % key_mod),
+        x=(np.arange(start, start + n) * 0.25).astype(np.float32),
+    )
+
+
+class TestHashPartitioner:
+    def test_bucket_map_is_stable_across_instances(self):
+        keys = np.arange(1000, dtype=np.int64)
+        a = HashPartitioner(3, buckets=64).bucket_of(keys)
+        b = HashPartitioner(5, buckets=64).bucket_of(keys)
+        assert np.array_equal(a, b)  # hash never depends on shard count
+        assert a.min() >= 0 and a.max() < 64
+
+    def test_partition_is_disjoint_and_covering(self):
+        part = HashPartitioner(4)
+        b = keyed_batch(500)
+        parts = part.partition(b, "k", 4)
+        assert sum(len(p) for p in parts if p is not None) == len(b)
+        owners = {}
+        for shard, p in enumerate(parts):
+            if p is None:
+                continue
+            for key in np.unique(p.column("k")):
+                assert key not in owners, "one key straddles two shards"
+                owners[key] = shard
+
+    def test_partition_preserves_input_order_within_shard(self):
+        part = HashPartitioner(3)
+        b = keyed_batch(300)
+        for p in part.partition(b, "k", 3):
+            if p is not None and len(p) > 1:
+                assert np.all(np.diff(p.timestamps) >= 0)
+
+    def test_partition_is_deterministic_for_replay(self):
+        part = HashPartitioner(2)
+        b = keyed_batch(200)
+        first = part.partition(b, "k", 2)
+        second = part.partition(b, "k", 2)
+        for p, q in zip(first, second):
+            assert (p is None) == (q is None)
+            if p is not None:
+                assert p.data.tobytes() == q.data.tobytes()
+
+    def test_reassign_moves_bucket(self):
+        part = HashPartitioner(2, buckets=8)
+        assert part.assignment[3] == 1  # round-robin start
+        part.reassign(3, 0)
+        assert part.assignment[3] == 0
+        assert part.counts()[0] == 5
+
+    def test_reassign_rejects_out_of_range_bucket(self):
+        with pytest.raises(ValidationError):
+            HashPartitioner(2, buckets=8).reassign(8, 0)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValidationError):
+            HashPartitioner(0)
+        with pytest.raises(ValidationError):
+            HashPartitioner(4, buckets=2)  # fewer buckets than shards
+
+
+# -- merge stage ---------------------------------------------------------------
+
+OUT = Schema.parse("timestamp:long, k:int, total:float", name="Out")
+
+
+def window_rows(ts, keys, totals):
+    return TupleBatch.from_columns(
+        OUT,
+        timestamp=np.full(len(keys), ts, dtype=np.int64),
+        k=np.asarray(keys, dtype=np.int32),
+        total=np.asarray(totals, dtype=np.float32),
+    )
+
+
+class TestMergeStage:
+    def test_emission_gated_on_slowest_frontier(self):
+        merge = MergeStage(2, ["k"])
+        merge.on_window(0, 0, 0, window_rows(3, [0, 2], [1.0, 2.0]))
+        merge.on_window(0, 0, 1, window_rows(7, [0], [3.0]))
+        assert merge.stats()["merged_windows"] == 0  # shard 1 not heard
+        merge.on_window(1, 0, 0, window_rows(3, [1], [4.0]))
+        assert merge.stats()["merged_windows"] == 1  # window 0 released
+        out = merge.output()
+        assert list(out.column("k")) == [0, 1, 2]  # re-sorted by key
+
+    def test_merged_window_timestamp_is_shard_max(self):
+        merge = MergeStage(2, ["k"])
+        merge.on_window(0, 0, 0, window_rows(3, [0], [1.0]))
+        merge.on_window(1, 0, 0, window_rows(5, [1], [2.0]))
+        out = merge.output()
+        assert list(out.timestamps) == [5, 5]  # the window's last tuple
+
+    def test_duplicate_report_raises(self):
+        merge = MergeStage(2, ["k"])
+        merge.on_window(0, 0, 0, window_rows(1, [0], [1.0]))
+        with pytest.raises(ExecutionError, match="twice"):
+            merge.on_window(0, 0, 0, window_rows(1, [0], [1.0]))
+
+    def test_stale_epoch_report_is_discarded(self):
+        merge = MergeStage(2, ["k"])
+        new_epoch = merge.reset_shard(0)
+        assert new_epoch == 1
+        merge.on_window(0, 0, 0, window_rows(1, [0], [1.0]))  # dead epoch
+        assert merge.backlog_windows() == 0
+        merge.on_window(0, new_epoch, 0, window_rows(1, [0], [1.0]))
+        assert merge.backlog_windows() == 1
+
+    def test_reset_preserves_settled_prefix_and_skips_replay(self):
+        merge = MergeStage(2, ["k"])
+        merge.on_window(0, 0, 0, window_rows(2, [0], [1.0]))
+        merge.on_window(1, 0, 0, window_rows(2, [1], [2.0]))
+        assert merge.stats()["settled"] == 0
+        before = merge.output().data.tobytes()
+        # Shard 0 dies with window 1 in flight; its replacement replays.
+        merge.on_window(0, 0, 1, window_rows(6, [0], [3.0]))
+        epoch = merge.reset_shard(0)
+        merge.on_window(0, epoch, 0, window_rows(2, [0], [1.0]))  # settled
+        merge.on_window(0, epoch, 1, window_rows(6, [0], [3.0]))
+        merge.on_window(1, 0, 1, window_rows(6, [1], [4.0]))
+        assert merge.output().data.tobytes()[: len(before)] == before
+        assert merge.stats()["merged_windows"] == 2
+
+    def test_all_shards_closed_marks_done(self):
+        merge = MergeStage(2, ["k"])
+        merge.on_window(0, 0, 0, window_rows(1, [0], [1.0]))
+        merge.close_shard(0, 0)
+        assert not merge.done  # shard 1 still open gates the tail
+        merge.close_shard(1, 0)
+        assert merge.done
+        assert merge.stats()["merged_windows"] == 1  # tail flushed
+        assert merge.wait_done(timeout=1.0)
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ExecutionError):
+            MergeStage(0, ["k"])
+
+
+# -- coordinator eligibility ---------------------------------------------------
+
+
+def coordinator(**kwargs):
+    coord = ClusterCoordinator(shards=2, **kwargs)
+    coord.register_stream("Syn", SyntheticSource(seed=1, limit=1024))
+    return coord
+
+
+class TestEligibility:
+    def test_count_window_is_refused(self):
+        with pytest.raises(ValidationError, match="time-based"):
+            coordinator().submit(
+                "select timestamp, a2, sum(a1) as total "
+                "from Syn [rows 64 slide 64] group by a2"
+            )
+
+    def test_non_groupby_is_refused(self):
+        with pytest.raises(ValidationError, match="GROUP-BY"):
+            coordinator().submit(
+                "select timestamp, sum(a1) as total from Syn [range 4 slide 4]"
+            )
+
+    def test_partition_key_must_be_a_group_column(self):
+        with pytest.raises(ValidationError, match="group columns"):
+            coordinator(partition_key="a3").submit(GROUP_BY.cql)
+
+    def test_where_prefilter_commutes_and_is_accepted(self):
+        coordinator().submit(
+            "select timestamp, a2, sum(a1) as total from Syn "
+            "[range 4 slide 4] where a3 > 2 group by a2"
+        )
+
+    def test_second_stream_is_refused(self):
+        coord = coordinator()
+        with pytest.raises(ValidationError, match="one input stream"):
+            coord.register_stream("Other", SyntheticSource(seed=2, limit=16))
+
+    def test_start_before_submit_is_refused(self):
+        with pytest.raises(ValidationError, match="submit"):
+            coordinator().start()
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            ClusterCoordinator(shards=0)
+        with pytest.raises(ValidationError):
+            ClusterCoordinator(transport="carrier-pigeon")
+        with pytest.raises(ValidationError):
+            ClusterCoordinator(execution="fibers")
+
+    def test_session_refuses_second_query(self):
+        with ClusterSession(shards=2) as session:
+            session.register_stream("Syn", SyntheticSource(seed=1, limit=64))
+            session.sql(GROUP_BY.cql, name="first")
+            with pytest.raises(SessionError, match="already has a query"):
+                session.sql(GROUP_BY.cql, name="second")
+
+
+# -- equivalence: merged bytes == single-engine bytes --------------------------
+
+
+class TestClusterEquivalence:
+    def test_groupby_two_shards_threads(self, groupby_data, groupby_reference):
+        merged, stats = run_cluster(GROUP_BY, groupby_data, shards=2)
+        assert_byte_identical(merged, groupby_reference)
+        assert stats["resubmits"] == 0
+
+    def test_groupby_four_shards(self, groupby_data, groupby_reference):
+        merged, stats = run_cluster(GROUP_BY, groupby_data, shards=4)
+        assert_byte_identical(merged, groupby_reference)
+        assert stats["resubmits"] == 0
+
+    def test_groupby_processes_backend(self, groupby_data, groupby_reference):
+        merged, stats = run_cluster(
+            GROUP_BY, groupby_data, shards=2, execution="processes"
+        )
+        assert_byte_identical(merged, groupby_reference)
+        assert stats["resubmits"] == 0
+
+    def test_cm1_two_shards(self, cm1_data, cm1_reference):
+        merged, stats = run_cluster(CM1, cm1_data, shards=2)
+        assert_byte_identical(merged, cm1_reference)
+        assert stats["resubmits"] == 0
+
+    def test_rebalanced_plan_stays_exact(self, groupby_data, groupby_reference):
+        from repro.io import MemorySource
+
+        with ClusterSession(shards=2) as session:
+            session.register_stream(
+                GROUP_BY.stream, MemorySource(groupby_data.schema, groupby_data)
+            )
+            handle = session.sql(GROUP_BY.cql, name=GROUP_BY.name)
+            # Skew the plan before ingest: shard 1 takes most buckets.
+            for bucket in range(0, 48):
+                session.rebalance(bucket, 1)
+            session.start()
+            with pytest.raises(ValidationError, match="rebalance"):
+                session.rebalance(0, 0)  # plan frozen once started
+            session.wait(120.0)
+            assert_byte_identical(handle.output(), groupby_reference)
+
+    @pytest.mark.slow
+    def test_groupby_serve_transport(self, groupby_data, groupby_reference):
+        merged, stats = run_cluster(
+            GROUP_BY, groupby_data, shards=2, transport="serve"
+        )
+        assert_byte_identical(merged, groupby_reference)
+        assert stats["resubmits"] == 0
+
+
+# -- shard failure and resubmit ------------------------------------------------
+
+
+class TestShardFailureRecovery:
+    def _await_merged(self, session, windows, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            merge = session.stats().get("merge") or {}
+            if merge.get("merged_windows", 0) >= windows:
+                return
+            time.sleep(0.01)
+        raise AssertionError(f"never merged {windows} windows")
+
+    def test_kill_and_resubmit_midstream_stays_exact(
+        self, groupby_data, groupby_reference
+    ):
+        """Push half, kill a shard with settled AND in-flight windows,
+        push the rest: the resubmitted key range must reproduce the
+        single-engine bytes exactly."""
+        source = PushSource(groupby_data.schema, capacity_tuples=1 << 16)
+        half = len(groupby_data) // 2
+        first = groupby_data.take(np.arange(half))
+        rest = groupby_data.take(np.arange(half, len(groupby_data)))
+        with ClusterSession(shards=2, liveness_interval=0.05) as session:
+            session.register_stream(GROUP_BY.stream, source)
+            handle = session.sql(GROUP_BY.cql, name=GROUP_BY.name)
+            session.start()
+            session.push(GROUP_BY.stream, first)
+            self._await_merged(session, 2)
+            session.kill_shard(0)
+            session.push(GROUP_BY.stream, rest)
+            session.close_stream(GROUP_BY.stream)
+            session.wait(120.0)
+            stats = session.stats()
+            assert_byte_identical(handle.output(), groupby_reference)
+        assert stats["resubmits"] >= 1
+
+    def test_kill_with_recovery_disabled_fails_the_run(self, groupby_data):
+        source = PushSource(groupby_data.schema, capacity_tuples=1 << 16)
+        half = len(groupby_data) // 2
+        with ClusterSession(
+            shards=2, recover=False, liveness_interval=0.05
+        ) as session:
+            session.register_stream(GROUP_BY.stream, source)
+            session.sql(GROUP_BY.cql, name=GROUP_BY.name)
+            session.start()
+            session.push(GROUP_BY.stream, groupby_data.take(np.arange(half)))
+            self._await_merged(session, 1)
+            session.kill_shard(1)
+            session.close_stream(GROUP_BY.stream)
+            with pytest.raises(ExecutionError, match="recovery is disabled"):
+                session.wait(60.0)
+
+    @pytest.mark.slow
+    def test_serve_transport_kill_and_resubmit(
+        self, groupby_data, groupby_reference
+    ):
+        merged, stats = run_cluster(
+            GROUP_BY,
+            groupby_data,
+            shards=2,
+            transport="serve",
+            kill_slot=0,
+            liveness_interval=0.05,
+        )
+        assert_byte_identical(merged, groupby_reference)
+        assert stats["resubmits"] >= 1
+
+
+# -- cluster metrics -----------------------------------------------------------
+
+
+class TestClusterMetrics:
+    def test_counters_reconcile_with_stats(self, groupby_data, groupby_reference):
+        from repro.io import MemorySource
+
+        with ClusterSession(shards=2) as session:
+            session.register_stream(
+                GROUP_BY.stream, MemorySource(groupby_data.schema, groupby_data)
+            )
+            handle = session.sql(GROUP_BY.cql, name=GROUP_BY.name)
+            session.start()
+            session.wait(120.0)
+            registry = session.registry
+            stats = session.stats()
+            assert_byte_identical(handle.output(), groupby_reference)
+            pushed = registry.counter("saber_cluster_tuples_pushed_total").total()
+            assert pushed == len(groupby_data)  # no resubmits: no replays
+            merged = stats["merge"]["merged_windows"]
+            assert (
+                registry.counter("saber_cluster_windows_merged_total").total()
+                == merged
+            )
+            assert registry.counter(
+                "saber_cluster_rows_merged_total"
+            ).total() == len(handle.output())
+            assert registry.counter("saber_cluster_resubmits_total").total() == 0

@@ -465,3 +465,80 @@ class TestSinks:
     def test_callback_sink_rejects_non_callable(self):
         with pytest.raises(ValidationError):
             CallbackSink(42)
+
+
+class TestSocketFailurePaths:
+    """Socket connector failure semantics: abrupt peer death, fragmented
+    frames, and the terminality of end-of-stream across reconnects."""
+
+    def test_peer_disconnect_mid_stream_delivers_prefix_then_eos(self):
+        import socket as socketlib
+
+        src = SocketSource(SCHEMA, capacity_tuples=1024)
+        host, port = src.address
+        b = batch(10)
+        lines = "".join(
+            '{"timestamp": %d, "v": %d, "x": %s}\n' % (r["timestamp"], r["v"], r["x"])
+            for r in batch_to_rows(b)
+        )
+        with socketlib.create_connection((host, port)) as conn:
+            conn.sendall(lines.encode("utf-8"))
+        # The producer died mid-stream (no framing epilogue): everything
+        # it managed to send is delivered, then a clean end-of-stream —
+        # never a hang and never invented data.
+        out = src.next_tuples(6)
+        assert len(out) == 6
+        with pytest.raises(EndOfStream) as exc:
+            src.next_tuples(100)
+        full = TupleBatch.concat([out, exc.value.remainder])
+        assert np.array_equal(full.data, b.data)
+
+    def test_partial_line_frames_reassemble_across_segments(self):
+        import socket as socketlib
+
+        src = SocketSource(SCHEMA, capacity_tuples=1024)
+        host, port = src.address
+        line = b'{"timestamp": 1, "v": 2, "x": 0.5}\n'
+        with socketlib.create_connection((host, port)) as conn:
+            # One record fragmented across three TCP segments, plus a
+            # final record whose newline never arrives (EOF terminates
+            # it): both must parse as exactly one tuple each.
+            for chunk in (line[:9], line[9:21], line[21:]):
+                conn.sendall(chunk)
+                time.sleep(0.02)
+            conn.sendall(b'{"timestamp": 2, "v": 3, "x": 1.5}')
+        out = src.next_tuples(1)
+        with pytest.raises(EndOfStream) as exc:
+            src.next_tuples(10)
+        full = TupleBatch.concat([out, exc.value.remainder])
+        assert list(full.timestamps) == [1, 2]
+        assert list(full.column("v")) == [2, 3]
+
+    def test_reconnect_after_eof_does_not_resurrect_stream(self):
+        import socket as socketlib
+
+        src = SocketSource(SCHEMA)
+        host, port = src.address
+        sink = SocketSink(host, port)
+        sink.write(batch(5))
+        sink.close()  # first producer done: stream is terminally ended
+        with pytest.raises(EndOfStream) as exc:
+            src.next_tuples(100)
+        assert len(exc.value.remainder) == 5
+        # A second producer must not reopen the stream.  Depending on
+        # how far the reader's teardown has run, the connect is either
+        # refused outright or accepted-and-ignored — in both cases the
+        # source stays terminal and delivers nothing new.
+        try:
+            conn = socketlib.create_connection((host, port), timeout=0.5)
+        except OSError:
+            pass  # listener already closed
+        else:
+            with conn:
+                try:
+                    conn.sendall(b'{"timestamp": 9, "v": 9, "x": 9.0}\n')
+                except OSError:
+                    pass
+        with pytest.raises(EndOfStream) as late:
+            src.next_tuples(1)
+        assert late.value.remainder is None

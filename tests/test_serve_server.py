@@ -275,3 +275,62 @@ class TestGracefulShutdown:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait()
+
+
+class TestIdleEviction:
+    def test_idle_tenant_is_evicted_and_counted(self):
+        config = ServeConfig(
+            port=0, metrics_port=0, stats_interval=None, tenant_idle_timeout=0.3
+        )
+        with SaberServer(config) as srv:
+            client = connect(srv, tenant="sleepy")
+            client.register("s", SCHEMA)
+            push_rows(client, "s", 16)
+            # Go silent: the eviction loop reaps the tenant, drains its
+            # engine gracefully, and counts the eviction.
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if srv.tenants_evicted.total() >= 1.0:
+                    break
+                time.sleep(0.05)
+            assert srv.tenants_evicted.total() == 1.0
+            assert srv.stats()["tenants"] == []
+
+    def test_active_tenant_is_not_evicted(self):
+        config = ServeConfig(
+            port=0, metrics_port=0, stats_interval=None, tenant_idle_timeout=0.4
+        )
+        with SaberServer(config) as srv:
+            client = connect(srv, tenant="busy")
+            client.register("s", SCHEMA)
+            # Keep talking for several timeout periods: any frame counts
+            # as activity, so the tenant must survive.
+            end = time.monotonic() + 1.5
+            while time.monotonic() < end:
+                assert client.ping()
+                time.sleep(0.1)
+            assert srv.tenants_evicted.total() == 0.0
+            assert len(srv.stats()["tenants"]) == 1
+
+
+class TestWindowsMode:
+    def test_window_results_are_tagged_and_ordered(self, server):
+        client = connect(server)
+        client.register("s", SCHEMA)
+        client.submit(SUM_CQL.format(stream="s"), name="q", windows=True)
+        push_rows(client, "s", 256)
+        client.close_stream("s")
+        wids, total = [], 0.0
+        done = False
+        end = time.monotonic() + 30.0
+        while not done:
+            assert time.monotonic() < end, "windows-mode query never drained"
+            chunks, done = client.window_results("q", timeout=2.0)
+            for wid, rows in chunks:
+                wids.append(wid)
+                total += sum(r["total"] for r in rows)
+        # 256 tuples through tumbling 64-row windows: four windows, in
+        # strictly increasing window-id order, summing to every value.
+        assert wids == sorted(wids) and len(set(wids)) == len(wids)
+        assert len(wids) == 4
+        assert total == 256.0

@@ -55,6 +55,7 @@ import numpy as np
 from repro.api import SaberSession
 from repro.core.engine import Report, SaberConfig
 from repro.core.executor_mp import fork_available
+from repro.gpu.jit import HAVE_NUMBA
 from repro.windows.definition import WindowDefinition
 from repro.workloads.synthetic import (
     TUPLE_SIZE,
@@ -68,7 +69,30 @@ from repro.workloads.synthetic import (
     spa_query,
 )
 
+#: the default matrix (pinned by the committed baseline); the executable
+#: accelerator backends can be added with ``--backends ... accelerator
+#: hybrid`` — ``bench_hybrid.py`` runs them as a dedicated record
+#: (``BENCH_PR9.json``) so this baseline stays stable.
 BACKENDS = ("sim", "threads", "processes")
+EXTRA_BACKENDS = ("accelerator", "hybrid")
+
+
+def machine_record(shards: int = 1) -> dict:
+    """The ``machine`` section every bench record carries."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        # engine instances producing this record; the sharded cluster
+        # bench reports its fleet sizes here instead.
+        "shards": shards,
+        # capability of the recording machine: whether the executable
+        # accelerator backend was available and whether its kernels ran
+        # numba-jitted or on the numpy fallback.  check_regression.py
+        # skips (rather than fails) wall-clock comparisons when baseline
+        # and run disagree here.
+        "accelerator": {"available": True, "numba": HAVE_NUMBA},
+    }
 
 #: workload axis: ``fusion`` pins the engine's fusion mode for the
 #: entry (default "auto"); ``cpu_only`` runs without the GPGPU worker
@@ -149,12 +173,17 @@ WORKLOAD = [
 
 def run_backend(execution, entry, tasks, task_tuples, workers):
     """One session run; returns the report, the output batch and wall time."""
+    # The accelerator-only backend pins its own topology (GPGPU slot
+    # only); hybrid needs both slots, so cpu_only entries cannot run it.
+    use_gpu = not entry.get("cpu_only", False)
+    if execution == "accelerator":
+        use_gpu = True
     session = SaberSession(
         SaberConfig(
             execution=execution,
             task_size_bytes=task_tuples * TUPLE_SIZE,
             cpu_workers=workers,
-            use_gpu=not entry.get("cpu_only", False),
+            use_gpu=use_gpu,
             queue_capacity=16,
             collect_output=True,
             fusion=entry.get("fusion", "auto"),
@@ -213,7 +242,8 @@ def main(argv=None) -> int:
                         help="tuples per task (overrides the mode default)")
     parser.add_argument("--workers", type=int, default=None,
                         help="CPU workers (default: min(8, cpu_count))")
-    parser.add_argument("--backends", nargs="+", choices=BACKENDS,
+    parser.add_argument("--backends", nargs="+",
+                        choices=BACKENDS + EXTRA_BACKENDS,
                         default=list(BACKENDS),
                         help="backends to run (sim is required: it is the "
                              "equivalence oracle)")
@@ -247,6 +277,8 @@ def main(argv=None) -> int:
         label = entry["label"]
         outputs = {}
         for backend in backends:
+            if backend == "hybrid" and entry.get("cpu_only", False):
+                continue  # hybrid needs both device slots live
             report, output, wall, query_name = run_backend(
                 backend, entry, tasks, task_tuples, workers
             )
@@ -265,14 +297,14 @@ def main(argv=None) -> int:
                 f"wall={wall:6.2f} s"
             )
         outputs_by_label[label] = outputs
-        for backend in backends:
+        for backend in outputs:
             if backend == "sim":
                 continue
             if not outputs_equal(outputs["sim"], outputs[backend], entry["tolerant"]):
                 mismatches.append(f"{label}:{backend}")
                 print(f"{label:>16} outputs MISMATCH (sim vs {backend})")
         if not any(m.startswith(f"{label}:") for m in mismatches):
-            print(f"{label:>16} outputs match across {len(backends)} backends")
+            print(f"{label:>16} outputs match across {len(outputs)} backends")
 
     # Fusion must never change a single output bit, on any backend.
     fusion_speedup = {}
@@ -281,7 +313,7 @@ def main(argv=None) -> int:
         if twin is None:
             continue
         label = entry["label"]
-        for backend in backends:
+        for backend in outputs_by_label[twin].keys() & outputs_by_label[label].keys():
             if not outputs_equal(
                 outputs_by_label[twin][backend],
                 outputs_by_label[label][backend],
@@ -308,14 +340,7 @@ def main(argv=None) -> int:
             "tuple_size_bytes": TUPLE_SIZE,
             "backends": backends,
         },
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            # engine instances producing this record; the sharded
-            # cluster bench reports its fleet sizes here instead.
-            "shards": 1,
-        },
+        "machine": machine_record(),
         "outputs_equivalent": not mismatches,
         "mismatched_queries": mismatches,
         #: deterministic sim-backend throughput ratio, fused over

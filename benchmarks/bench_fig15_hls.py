@@ -11,11 +11,14 @@ under-utilises one processor; FCFS splits ~evenly; HLS converges to a
 better split and peak throughput.
 """
 
+import numpy as np
 import pytest
 
-from common import gbps, run_saber
+from common import gbps, hybrid_split, mbps, run_saber
 from repro.core.scheduler import CPU, GPU
 from repro.workloads.synthetic import (
+    TUPLE_SIZE,
+    SyntheticSource,
     agg_query,
     groupby_query,
     proj_query,
@@ -120,3 +123,62 @@ def test_fig15_hls_converges_to_preferred_split(benchmark, paper_table):
     # PROJ6* leans on the GPGPU; AGG_cnt GROUP-BY1 leans on the CPU.
     assert shares["Q1_PROJ6star"] > 0.5
     assert shares["Q2_AGGcnt"] < 0.5
+
+
+def test_fig15_hybrid_backend_wall_clock_leg(benchmark, paper_table):
+    """Wall-clock W2 leg on the executable backends.
+
+    The sim legs above exercise the HLS *policy* in virtual time; this
+    leg replays the W2 query shapes on real data through the executable
+    backends — CPU threads alone, the batch-kernel accelerator alone,
+    and the HLS hybrid with both device slots live.  Every leg must
+    match the sim oracle bitwise (processor assignment is invisible at
+    the bit level), which is what licenses comparing their wall-clock
+    throughputs at all.
+    """
+    legs = ("sim", "threads", "accelerator", "hybrid")
+    task_tuples = 1024  # one 32KB window per task
+
+    def run_leg(execution):
+        pairs = [
+            (q, [SyntheticSource(seed=7)]) for q in w2_queries()
+        ]
+        # The threads leg is the *CPU-alone* single-device baseline, so
+        # it drops the GPGPU model slot; the accelerator backend is
+        # GPGPU-alone by construction.
+        overrides = {"use_gpu": False} if execution == "threads" else {}
+        return run_saber(
+            pairs,
+            tasks_per_query=24,
+            execution=execution,
+            task_size_bytes=task_tuples * TUPLE_SIZE,
+            cpu_workers=2,
+            queue_capacity=8,
+            collect_output=True,
+            **overrides,
+        )
+
+    def run():
+        return {leg: run_leg(leg) for leg in legs}
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_table(
+        "Fig. 15 (executable) — W2 wall-clock legs",
+        ["leg", "MB/s", "CPU/GPGPU split"],
+        [
+            (leg, mbps(reports[leg].throughput_bytes), hybrid_split(reports[leg]))
+            for leg in legs
+        ],
+    )
+    oracle = reports["sim"]
+    for leg in legs[1:]:
+        for name, expected in oracle.outputs.items():
+            actual = reports[leg].outputs[name]
+            assert (expected is None) == (actual is None), (leg, name)
+            if expected is not None:
+                assert np.array_equal(expected.data, actual.data), (leg, name)
+        assert reports[leg].throughput_bytes > 0, leg
+    # The single-device legs pin every task to their one slot; the
+    # hybrid leg's split comes from the live HLS matrix instead.
+    assert reports["threads"].processor_share().get(GPU, 0.0) == 0.0
+    assert reports["accelerator"].processor_share().get(GPU, 0.0) == 1.0

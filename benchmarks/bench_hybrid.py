@@ -1,0 +1,165 @@
+"""Hybrid heterogeneous execution: CPU threads vs accelerator vs both.
+
+The paper's headline claim is that the HLS schedule over *both* devices
+beats either device alone.  This bench runs the Table-1-style synthetic
+workloads (PROJ4, SELECT16, AGG*, GROUP-BY8, JOIN1) on real data
+through four legs and records ``BENCH_PR9.json``:
+
+* ``sim`` — the virtual-time oracle every other leg must match
+  **bitwise** (the accelerator kernels are exact by construction, so no
+  tolerance is granted anywhere in this record);
+* ``cpu`` — CPU worker threads only (``execution="threads"``,
+  ``use_gpu=False``): one single-device backend;
+* ``accelerator`` — the executable batch-kernel accelerator alone on
+  the GPGPU worker slot: the other single-device backend;
+* ``hybrid`` — both device slots live, HLS picking per task from the
+  observed throughput matrix.
+
+Per workload the record notes whether the hybrid leg's wall-clock
+throughput beat *every* single-device leg (``hybrid_wins``).
+``check_regression.py --hybrid`` gates the record: equivalence always;
+the hybrid-beats-both count only when the recording machine had
+``cpu_count >= 2`` (a single core time-slices the "parallel" devices
+and makes the comparison noise — same rule as the cluster scaling
+gate).
+
+Usage::
+
+    python benchmarks/bench_hybrid.py           # full run
+    python benchmarks/bench_hybrid.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+if str(_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "src"))
+if str(_ROOT / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+
+from bench_backend_comparison import (  # noqa: E402 - path setup first
+    WORKLOAD,
+    machine_record,
+    outputs_equal,
+    run_backend,
+    summarise,
+)
+
+from repro.gpu.jit import HAVE_NUMBA  # noqa: E402
+
+#: the Table-1-style single/dual-input workloads (the fusion-axis and
+#: slide-1 entries of the comparison bench are CPU-only by design and
+#: cannot exercise the hybrid schedule).
+TABLE1_LABELS = ("PROJ4", "SELECT16", "AGG*", "GROUP-BY8", "JOIN1")
+
+#: leg name → engine execution backend and GPGPU-slot override.
+LEGS = (
+    ("sim", "sim", {}),
+    ("cpu", "threads", {"cpu_only": True}),
+    ("accelerator", "accelerator", {}),
+    ("hybrid", "hybrid", {}),
+)
+
+#: legs a winning hybrid schedule must outrun (wall-clock throughput).
+SINGLE_DEVICE_LEGS = ("cpu", "accelerator")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run: fewer, smaller tasks")
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="tasks per query (overrides the mode default)")
+    parser.add_argument("--task-tuples", type=int, default=None,
+                        help="tuples per task (overrides the mode default)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="CPU workers (default: min(8, cpu_count))")
+    parser.add_argument("--output", type=Path,
+                        default=_ROOT / "BENCH_PR9.json")
+    args = parser.parse_args(argv)
+
+    for name in ("tasks", "task_tuples", "workers"):
+        value = getattr(args, name)
+        if value is not None and value <= 0:
+            parser.error(f"--{name.replace('_', '-')} must be positive, got {value}")
+    tasks = args.tasks if args.tasks else (12 if args.smoke else 64)
+    task_tuples = args.task_tuples if args.task_tuples else (512 if args.smoke else 8192)
+    workers = args.workers if args.workers else min(8, os.cpu_count() or 4)
+
+    workload = [e for e in WORKLOAD if e["label"] in TABLE1_LABELS]
+    results = []
+    mismatches = []
+    hybrid_wins: dict[str, bool] = {}
+    for entry in workload:
+        label = entry["label"]
+        throughput: dict[str, float] = {}
+        sim_output = None
+        for leg, execution, overrides in LEGS:
+            report, output, wall, query_name = run_backend(
+                execution, {**entry, **overrides}, tasks, task_tuples, workers
+            )
+            row = {"query": label, "leg": leg, "backend": execution}
+            row.update(summarise(report, wall, tasks))
+            row["output_rows"] = report.output_rows[query_name]
+            if leg == "sim":
+                sim_output = output
+                row["equivalent"] = True
+            else:
+                # Bitwise, no tolerance: the accelerator kernels are
+                # exact by construction and hybrid only mixes exact
+                # paths — any drift is a semantic bug.
+                row["equivalent"] = outputs_equal(sim_output, output, tolerant=False)
+                if not row["equivalent"]:
+                    mismatches.append(f"{label}:{leg}")
+                throughput[leg] = row["throughput_bytes_per_s"]
+            results.append(row)
+            print(
+                f"{label:>12} [{leg:>11}] "
+                f"tput={row['throughput_bytes_per_s'] / 1e6:9.1f} MB/s  "
+                f"wall={wall:6.2f} s  "
+                f"equivalent={row['equivalent']}"
+            )
+        hybrid_wins[label] = all(
+            throughput["hybrid"] > throughput[leg] for leg in SINGLE_DEVICE_LEGS
+        )
+        print(f"{label:>12} hybrid beats both single-device legs: "
+              f"{hybrid_wins[label]}")
+
+    record = {
+        "bench": "hybrid_backend",
+        "paper_claim": "HLS hybrid schedule beats every single device "
+                       "(Fig. 15 shape, wall-clock)",
+        "smoke": bool(args.smoke),
+        "config": {
+            "tasks_per_query": tasks,
+            "task_tuples": task_tuples,
+            "cpu_workers": workers,
+            "legs": [leg for leg, __, __ in LEGS],
+            "numba": HAVE_NUMBA,
+        },
+        "machine": machine_record(),
+        "outputs_equivalent": not mismatches,
+        "mismatched_queries": mismatches,
+        "hybrid_wins": hybrid_wins,
+        "results": results,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    wins = sum(hybrid_wins.values())
+    print(f"hybrid won {wins}/{len(hybrid_wins)} workloads "
+          f"(cpu_count={os.cpu_count()}, numba={HAVE_NUMBA})")
+    if mismatches:
+        print(f"ERROR: leg outputs diverged from sim for {mismatches}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,7 @@ import sys
 
 from .api import SaberSession
 from .core.engine import SaberConfig
+from .hardware.slots import device_slots
 from .hardware.specs import DEFAULT_SPEC
 from .io import FileReplaySource, FileSink, write_batch
 from .workloads import cluster, linearroad, smartgrid
@@ -80,9 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="task scheduling policy",
     )
     run.add_argument(
-        "--execution", choices=["sim", "threads", "processes"], default="sim",
+        "--execution",
+        choices=["sim", "threads", "processes", "accelerator", "hybrid"],
+        default="sim",
         help="execution backend: virtual-time simulation, real threads, "
-             "or forked worker processes (shared memory, POSIX only)",
+             "forked worker processes (shared memory, POSIX only), the "
+             "executable batch-kernel accelerator alone, or hybrid "
+             "(CPU threads + accelerator under HLS dispatch)",
+    )
+    run.add_argument(
+        "--accelerator", action="store_true",
+        help="shorthand for --execution hybrid: bring the executable "
+             "accelerator up next to the CPU workers",
     )
     run.add_argument(
         "--fusion", choices=["auto", "off"], default="auto",
@@ -129,7 +139,9 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--workers", type=int, default=4, help="CPU worker threads")
     replay.add_argument("--no-gpu", action="store_true", help="disable the GPGPU")
     replay.add_argument(
-        "--execution", choices=["sim", "threads", "processes"], default="threads",
+        "--execution",
+        choices=["sim", "threads", "processes", "accelerator", "hybrid"],
+        default="threads",
         help="execution backend (threads by default: replay is real I/O)",
     )
     replay.add_argument(
@@ -293,12 +305,26 @@ def _command_run(args: argparse.Namespace) -> int:
     if bool(args.query) == bool(args.cql):
         print("error: pass either a query name or --cql", file=sys.stderr)
         return 2
+    execution = args.execution
+    if args.accelerator:
+        if execution in ("processes",):
+            print(
+                "error: --accelerator runs on the thread substrate; "
+                "drop --execution processes",
+                file=sys.stderr,
+            )
+            return 2
+        if args.no_gpu:
+            print("error: --accelerator conflicts with --no-gpu", file=sys.stderr)
+            return 2
+        if execution in ("sim", "threads"):
+            execution = "hybrid"
     config = SaberConfig(
         task_size_bytes=args.task_size,
         cpu_workers=args.workers,
         use_gpu=not args.no_gpu,
         scheduler=args.scheduler,
-        execution=args.execution,
+        execution=execution,
         fusion=args.fusion,
     )
     with SaberSession(config) as session:
@@ -312,8 +338,14 @@ def _command_run(args: argparse.Namespace) -> int:
             )
             handle = session.submit(query, sources=sources)
         query = handle.query
+        if execution in ("accelerator", "hybrid"):
+            slots = ", ".join(
+                f"{s.processor}:{s.kind}x{s.workers}"
+                for s in device_slots(config)
+            )
+            print(f"devices    : {slots}")
         report = session.run(tasks_per_query=args.tasks)
-    clock = "virtual" if args.execution == "sim" else "wall-clock"
+    clock = "virtual" if execution == "sim" else "wall-clock"
     print(f"query      : {query.name}")
     print(f"throughput : {report.throughput_bytes / 1e6:.1f} MB/s ({clock})")
     print(f"latency    : {report.latency_mean * 1e3:.2f} ms mean")

@@ -1,6 +1,6 @@
 """The SABER engine (§4): dispatch → schedule → execute → result stages.
 
-The engine offers three execution backends behind one API
+The engine offers five execution backends behind one API
 (``SaberConfig(execution=...)``):
 
 * ``"sim"`` (default) — a deterministic discrete-event simulation.
@@ -13,7 +13,15 @@ The engine offers three execution backends behind one API
   wall clock (:mod:`repro.core.executor`);
 * ``"processes"`` — forked worker processes executing operators in
   parallel (no GIL) against shared-memory circular buffers, fed and
-  collected by the parent (:mod:`repro.core.executor_mp`).
+  collected by the parent (:mod:`repro.core.executor_mp`);
+* ``"accelerator"`` — the executable accelerator alone
+  (:mod:`repro.gpu.accelerator`): one GPGPU worker thread runs every
+  task as whole-batch kernels behind an explicit host↔device transfer
+  stage;
+* ``"hybrid"`` — the paper's heterogeneous deployment for real: CPU
+  worker threads *and* the accelerator live simultaneously, with the
+  HLS scheduler picking the device per task from the observed
+  throughput matrix.
 
 Outputs are identical across all backends: the result stage emits in
 task-id order either way.
@@ -39,11 +47,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import BackpressureError, IngestInterrupted, SaberError, SimulationError
+from ..gpu.accelerator import AcceleratorDevice
 from ..gpu.kernels import execute_on_gpu
 from ..io.base import BackpressurePolicy
 from ..gpu.pipeline import MovementPipeline
 from ..hardware.cpu import CpuModel
 from ..hardware.gpu import GpuModel
+from ..hardware.slots import DeviceSlot, device_slots
 from ..hardware.specs import DEFAULT_SPEC, HardwareSpec
 from ..operators.base import BatchResult, StreamSlice
 from ..relational.tuples import TupleBatch
@@ -91,12 +101,20 @@ class SaberConfig:
     execute_data: bool = True
     collect_output: bool = True
     #: execution backend: ``"sim"`` (virtual-time discrete-event loop),
-    #: ``"threads"`` (real worker threads, wall-clock timing) or
+    #: ``"threads"`` (real worker threads, wall-clock timing),
     #: ``"processes"`` (forked worker processes over shared-memory
-    #: buffers — GIL-free operator parallelism; POSIX only).  Outputs
-    #: are identical across backends; only the timing source and the
-    #: parallelism substrate differ.
+    #: buffers — GIL-free operator parallelism; POSIX only),
+    #: ``"accelerator"`` (the executable batch-kernel accelerator alone,
+    #: on the GPGPU worker slot) or ``"hybrid"`` (CPU worker threads +
+    #: the accelerator simultaneously, HLS picking the device per task).
+    #: Outputs are identical across backends; only the timing source and
+    #: the parallelism substrate differ.
     execution: str = "sim"
+    #: artificial per-task slowdown of the accelerator device, in
+    #: seconds.  Zero (default) for production; the HLS skew tests and
+    #: benchmarks raise it to prove throughput-matrix feedback migrates
+    #: tasks back to the CPU workers when the device degrades.
+    accelerator_throttle_seconds: float = 0.0
     #: what the dispatcher does when a query's circular input buffers
     #: are full: ``"block"`` waits for the result stage to release space
     #: (lossless, the default), ``"error"`` raises a typed
@@ -119,15 +137,29 @@ class SaberConfig:
     spec: HardwareSpec = DEFAULT_SPEC
 
     def __post_init__(self) -> None:
+        if self.execution == "accelerator":
+            # Accelerator-only: the device occupies the GPGPU worker slot
+            # and no CPU workers come up (scheduling degenerates to FCFS
+            # on the single slot, exactly like use_cpu=False sim runs).
+            self.use_cpu = False
+            self.use_gpu = True
+        if self.execution == "hybrid" and not (self.use_cpu and self.use_gpu):
+            raise SimulationError(
+                "execution='hybrid' needs both device slots live "
+                "(use_cpu and use_gpu)"
+            )
         if not (self.use_cpu or self.use_gpu):
             raise SimulationError("enable at least one processor type")
         if self.use_cpu and self.cpu_workers <= 0:
             raise SimulationError("cpu_workers must be positive when use_cpu")
-        if self.execution not in ("sim", "threads", "processes"):
+        if self.execution not in ("sim", "threads", "processes", "accelerator", "hybrid"):
             raise SimulationError(
                 f"unknown execution backend {self.execution!r} "
-                "(expected 'sim', 'threads' or 'processes')"
+                "(expected 'sim', 'threads', 'processes', 'accelerator' "
+                "or 'hybrid')"
             )
+        if self.accelerator_throttle_seconds < 0:
+            raise SimulationError("accelerator_throttle_seconds must be non-negative")
         if self.execution == "processes" and not fork_available():
             raise SimulationError(
                 "execution='processes' requires the fork start method "
@@ -224,6 +256,16 @@ class SaberEngine:
         if self.config.use_gpu:
             self.workers.append(_Worker(len(self.workers), GPU))
         self.pipeline = MovementPipeline(pipelined=self.config.pipelined)
+        #: the executable accelerator occupying the GPGPU worker slot
+        #: under the "accelerator"/"hybrid" backends; None elsewhere (the
+        #: slot then runs the simulated-kernel semantics).
+        self.accelerator = (
+            AcceleratorDevice(
+                throttle_seconds=self.config.accelerator_throttle_seconds
+            )
+            if self.config.execution in ("accelerator", "hybrid")
+            else None
+        )
         self.scheduler = self._build_scheduler()
         self._tasks_per_query = 0
         self._dispatch_blocked = False
@@ -247,6 +289,10 @@ class SaberEngine:
         self._metrics_hooks = None
 
     # -- set-up ------------------------------------------------------------------
+
+    def device_slots(self) -> "tuple[DeviceSlot, ...]":
+        """The processor slots this configuration brings up (see HLS)."""
+        return device_slots(self.config)
 
     def _build_scheduler(self) -> Scheduler:
         cfg = self.config
@@ -337,7 +383,9 @@ class SaberEngine:
                 "running further tasks would re-emit those windows from "
                 "their tail fragments only — create a new engine/session"
             )
-        if self.config.execution == "threads":
+        if self.config.execution in ("threads", "accelerator", "hybrid"):
+            # accelerator/hybrid run on the thread substrate: the GPGPU
+            # worker thread drives the accelerator device per task.
             elapsed = ThreadedExecutor(self).run(tasks_per_query)
         elif self.config.execution == "processes":
             # Workers are forked per run (they inherit the current engine
@@ -614,7 +662,14 @@ class SaberEngine:
             __, __, stats, output_bytes = self._materialise(task)
             return None, stats, output_bytes
         operator = task.query.execution_operator
-        result = execute_on_gpu(operator, slices) if gpu else operator.process_batch(slices)
+        if gpu and self.accelerator is not None:
+            # Executable accelerator path: movein → batch kernel →
+            # moveout, with transfer accounting on the device.
+            result = self.accelerator.execute(operator, slices)
+        elif gpu:
+            result = execute_on_gpu(operator, slices)
+        else:
+            result = operator.process_batch(slices)
         return result, dict(result.stats), result.output_bytes
 
     def _execute_cpu(self, worker: _Worker, task: QueryTask) -> None:

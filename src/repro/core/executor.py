@@ -117,11 +117,14 @@ class ThreadedExecutor:
                 )
                 worker_id += 1
         if self.config.use_gpu:
+            gpu_name = (
+                "saber-accel" if self.engine.accelerator is not None else "saber-gpgpu"
+            )
             threads.append(
                 threading.Thread(
                     target=self._worker_loop,
                     args=(GPU,),
-                    name="saber-gpgpu",
+                    name=gpu_name,
                     daemon=True,
                 )
             )

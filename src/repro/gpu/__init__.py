@@ -1,4 +1,4 @@
-"""Simulated GPGPU substrate: device, kernels, PCIe, movement pipeline."""
+"""GPGPU substrate: simulated device models + the executable accelerator."""
 
 from .device import DEFAULT_GPU, GpuDeviceSpec
 from .pcie import DEFAULT_PCIE, PcieBus
@@ -6,8 +6,16 @@ from .pipeline import STAGES, MovementPipeline, StageTiming
 from .prefix_sum import blelloch_scan, compact_indices
 from .hashtable import OpenAddressingTable
 from .kernels import execute_on_gpu, gpu_join, gpu_selection, reduction_tree
+from .jit import HAVE_NUMBA, compact_mask, exclusive_scan
+from .accelerator import AcceleratorDevice, AcceleratorStats, accel_selection
 
 __all__ = [
+    "AcceleratorDevice",
+    "AcceleratorStats",
+    "accel_selection",
+    "HAVE_NUMBA",
+    "compact_mask",
+    "exclusive_scan",
     "GpuDeviceSpec",
     "DEFAULT_GPU",
     "PcieBus",

@@ -1,0 +1,203 @@
+"""The executable accelerator device: whole-batch kernels + transfer stage.
+
+Where :mod:`repro.gpu.kernels` gives the *simulator* a GPGPU kernel
+semantics (results computed for real, execution time charged by the
+cost models), this module is a third **executable** backend: a
+vectorised batch-kernel accelerator that really runs each query task's
+operator as whole-batch numpy operations — numba-jitted where available
+(:mod:`repro.gpu.jit`), pure numpy otherwise — behind an explicit
+host↔device transfer stage standing in for PCIe.
+
+One :class:`AcceleratorDevice` occupies the engine's GPGPU worker slot
+under ``SaberConfig(execution="accelerator")`` (accelerator-only) and
+``execution="hybrid"`` (CPU worker threads + the accelerator, with HLS
+picking the device per task from observed throughput feedback).  Its
+:meth:`~AcceleratorDevice.execute` is the per-task path:
+
+* **movein** — every input batch is staged into fresh device-side
+  storage (a real memcpy, the wall-clock stand-in for the DMA
+  transfer), and the modelled PCIe cost of the same bytes
+  (:meth:`~repro.gpu.pcie.PcieBus.transfer_seconds`) is recorded next
+  to the measured copy time;
+* **kernel** — selection runs the scan-compaction kernel over the
+  jitted (or numpy) mask-compaction primitive; joins run the
+  count-then-compact kernel; aggregation/GROUP-BY/projection run the
+  shared vectorised implementation, exactly like the simulated GPGPU —
+  which is what keeps outputs **bitwise identical** to the sim/threads/
+  processes backends (float reductions are never re-ordered);
+* **moveout** — complete output rows are copied back out of the staged
+  storage, with the modelled PCIe cost of the output bytes recorded
+  alongside.
+
+The device keeps cumulative :class:`AcceleratorStats` (tasks, bytes
+each way, measured vs modelled transfer seconds, kernel seconds) that
+the serve-layer metrics export as ``saber_accel_*`` series at scrape
+time.  ``throttle_seconds`` artificially slows every task — the knob
+the HLS skew tests and benchmarks use to prove that throughput-matrix
+feedback migrates tasks back to the CPU workers when the accelerator
+degrades.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..analysis.lockdep import make_lock
+from ..operators.base import BatchResult, Operator, StreamSlice
+from ..operators.join import ThetaJoin
+from ..operators.selection import Selection
+from ..relational.tuples import TupleBatch
+from . import jit
+from .device import DEFAULT_GPU, GpuDeviceSpec
+from .kernels import gpu_join
+from .pcie import DEFAULT_PCIE, PcieBus
+
+__all__ = ["AcceleratorDevice", "AcceleratorStats", "accel_selection"]
+
+
+class AcceleratorStats:
+    """Cumulative accelerator counters, updated once per executed task.
+
+    Snapshots are read concurrently by metrics gauge callbacks, so
+    updates and reads go through one (uncontended) lock.
+    """
+
+    def __init__(self) -> None:
+        self._lock = make_lock("gpu.accelerator.AcceleratorStats._lock")
+        self.tasks = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.transfer_seconds_measured = 0.0
+        self.transfer_seconds_modeled = 0.0
+        self.kernel_seconds = 0.0
+
+    def record(
+        self,
+        bytes_in: int,
+        bytes_out: int,
+        measured: float,
+        modeled: float,
+        kernel: float,
+    ) -> None:
+        """Fold one task's transfer/kernel accounting into the totals."""
+        with self._lock:
+            self.tasks += 1
+            self.bytes_in += bytes_in
+            self.bytes_out += bytes_out
+            self.transfer_seconds_measured += measured
+            self.transfer_seconds_modeled += modeled
+            self.kernel_seconds += kernel
+
+    def snapshot(self) -> "dict[str, float]":
+        """Point-in-time copy of every counter (for metrics and tests)."""
+        with self._lock:
+            return {
+                "tasks": float(self.tasks),
+                "bytes_in": float(self.bytes_in),
+                "bytes_out": float(self.bytes_out),
+                "transfer_seconds_measured": self.transfer_seconds_measured,
+                "transfer_seconds_modeled": self.transfer_seconds_modeled,
+                "kernel_seconds": self.kernel_seconds,
+            }
+
+
+def accel_selection(operator: Selection, inputs: "list[StreamSlice]") -> BatchResult:
+    """Scan-compacted selection through the jitted compaction primitive.
+
+    Algorithmically the simulated GPGPU kernel (all predicate lanes
+    evaluated, survivors compacted by prefix sum), with the compaction
+    going through :func:`repro.gpu.jit.compact_mask` so numba compiles
+    the inner loop where available.  Both compaction paths are exact,
+    so the output is bitwise identical to the CPU operator's.
+    """
+    slice_ = inputs[0]
+    batch = slice_.batch
+    mask = operator.predicate.evaluate(batch)  # all lanes, no short-circuit
+    survivors = jit.compact_mask(mask)
+    out = batch.take(survivors)
+    selectivity = float(mask.mean()) if len(batch) else 0.0
+    return BatchResult(complete=out, stats={"selectivity": selectivity})
+
+
+class AcceleratorDevice:
+    """Executable accelerator occupying the engine's GPGPU worker slot."""
+
+    def __init__(
+        self,
+        device: GpuDeviceSpec = DEFAULT_GPU,
+        pcie: PcieBus = DEFAULT_PCIE,
+        throttle_seconds: float = 0.0,
+    ) -> None:
+        if throttle_seconds < 0:
+            raise ValueError("throttle_seconds must be non-negative")
+        self.device = device
+        self.pcie = pcie
+        self.throttle_seconds = throttle_seconds
+        self.stats = AcceleratorStats()
+
+    @property
+    def jit_enabled(self) -> bool:
+        """Whether the numba-compiled kernel path is live on this host."""
+        return jit.HAVE_NUMBA
+
+    # -- per-task path ------------------------------------------------------
+
+    def _stage_in(self, inputs: "list[StreamSlice]") -> "tuple[list[StreamSlice], int]":
+        """Movein: copy every input batch into device-side storage."""
+        staged = []
+        bytes_in = 0
+        for slice_ in inputs:
+            batch = slice_.batch
+            bytes_in += batch.size_bytes
+            device_batch = TupleBatch(batch.schema, np.copy(batch.data))
+            staged.append(StreamSlice(device_batch, slice_.windows, slice_.global_start))
+        return staged, bytes_in
+
+    def _kernel(self, operator: Operator, inputs: "list[StreamSlice]") -> BatchResult:
+        """Dispatch one task to its batch kernel (shared impl otherwise)."""
+        if isinstance(operator, Selection):
+            return accel_selection(operator, inputs)
+        if isinstance(operator, ThetaJoin):
+            return gpu_join(operator, inputs)
+        # Aggregation/GROUP-BY/projection: the shared vectorised
+        # implementation — float reduction order is never changed, which
+        # is what keeps outputs bitwise identical across backends.
+        return operator.process_batch(inputs)
+
+    def execute(self, operator: Operator, inputs: "list[StreamSlice]") -> BatchResult:
+        """Run one query task: movein → kernel → moveout, with accounting."""
+        t0 = time.perf_counter()
+        staged, bytes_in = self._stage_in(inputs)
+        movein_measured = time.perf_counter() - t0
+
+        k0 = time.perf_counter()
+        result = self._kernel(operator, staged)
+        kernel_seconds = time.perf_counter() - k0
+
+        m0 = time.perf_counter()
+        bytes_out = 0
+        if result.complete is not None:
+            # Moveout: the complete rows leave device storage by copy.
+            bytes_out = result.complete.size_bytes
+            result.complete = TupleBatch(
+                result.complete.schema, np.copy(result.complete.data)
+            )
+        moveout_measured = time.perf_counter() - m0
+
+        modeled = self.pcie.transfer_seconds(bytes_in) + self.pcie.transfer_seconds(
+            bytes_out
+        )
+        self.stats.record(
+            bytes_in,
+            bytes_out,
+            movein_measured + moveout_measured,
+            modeled,
+            kernel_seconds,
+        )
+        if self.throttle_seconds > 0:
+            # Deliberate skew knob: makes the device observably slow so
+            # HLS feedback tests can assert migration back to the CPU.
+            time.sleep(self.throttle_seconds)
+        return result

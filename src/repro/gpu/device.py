@@ -28,6 +28,7 @@ class GpuDeviceSpec:
 
     @property
     def cores_per_sm(self) -> int:
+        """Cores per streaming multiprocessor (the SM-local lane count)."""
         return self.cores // self.streaming_multiprocessors
 
 

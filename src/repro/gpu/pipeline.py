@@ -47,6 +47,7 @@ class StageTiming:
 
     @property
     def completion_time(self) -> float:
+        """Finish time of the last pipeline stage for this task."""
         return self.finish[STAGES[-1]]
 
 

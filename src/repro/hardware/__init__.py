@@ -1,7 +1,17 @@
-"""Calibrated hardware cost models for the simulated server."""
+"""Calibrated hardware cost models and the engine's device-slot table."""
 
 from .specs import DEFAULT_SPEC, HardwareSpec
 from .cpu import CpuModel
 from .gpu import GpuModel
+from .slots import CPU_SLOT, GPU_SLOT, DeviceSlot, device_slots
 
-__all__ = ["HardwareSpec", "DEFAULT_SPEC", "CpuModel", "GpuModel"]
+__all__ = [
+    "HardwareSpec",
+    "DEFAULT_SPEC",
+    "CpuModel",
+    "GpuModel",
+    "DeviceSlot",
+    "device_slots",
+    "CPU_SLOT",
+    "GPU_SLOT",
+]

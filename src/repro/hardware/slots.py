@@ -1,0 +1,72 @@
+"""Device slots: which processors an engine configuration brings up.
+
+The HLS scheduler reasons about *processor names* ("CPU", "GPGPU" —
+the throughput-matrix row keys), while the engine brings up *workers*
+(threads, forked processes, or the executable accelerator) to fill
+those slots.  A :class:`DeviceSlot` names one such binding: the
+processor slot, the kind of worker substrate occupying it, and how many
+workers it runs.
+
+:func:`device_slots` derives the slot table from a ``SaberConfig`` —
+the single place where "what does ``execution='hybrid'`` actually run?"
+is answered, used by the CLI banner, the hybrid benchmarks' machine
+records and the slot tests.
+
+The processor names are string literals here (matching
+``repro.core.scheduler.CPU``/``GPU``) rather than imports, because the
+core engine imports this package for its cost models — importing core
+back would cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: processor slot names, mirroring ``repro.core.scheduler``.
+CPU_SLOT = "CPU"
+GPU_SLOT = "GPGPU"
+
+
+@dataclass(frozen=True)
+class DeviceSlot:
+    """One processor slot of a configured engine.
+
+    ``processor`` is the scheduler-facing slot name ("CPU" or "GPGPU");
+    ``kind`` names the substrate occupying it; ``workers`` how many
+    workers serve the slot (always 1 for the GPGPU slot).
+    """
+
+    processor: str
+    kind: str  # "sim" | "thread" | "process" | "accelerator" | "gpu-model"
+    workers: int
+
+
+def device_slots(config) -> "tuple[DeviceSlot, ...]":
+    """Slot table for a ``SaberConfig`` (duck-typed to avoid a cycle).
+
+    The GPGPU slot is occupied by the *executable accelerator* under
+    ``execution in ("accelerator", "hybrid")``, by the calibrated GPU
+    cost model under ``execution="sim"``, and by a plain worker
+    (thread/process) running the simulated-kernel semantics otherwise.
+    """
+    slots = []
+    cpu_kind = {
+        "sim": "sim",
+        "threads": "thread",
+        "processes": "process",
+        "accelerator": "thread",
+        "hybrid": "thread",
+    }.get(config.execution)
+    if cpu_kind is None:
+        raise ValueError(f"unknown execution backend {config.execution!r}")
+    if config.use_cpu:
+        slots.append(DeviceSlot(CPU_SLOT, cpu_kind, config.cpu_workers))
+    if config.use_gpu:
+        if config.execution in ("accelerator", "hybrid"):
+            gpu_kind = "accelerator"
+        elif config.execution == "sim":
+            gpu_kind = "gpu-model"
+        else:
+            gpu_kind = cpu_kind
+        slots.append(DeviceSlot(GPU_SLOT, gpu_kind, 1))
+    return tuple(slots)

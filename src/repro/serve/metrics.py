@@ -398,7 +398,19 @@ class SessionInstruments:
     * ``saber_result_latency_seconds{tenant,query}`` (histogram) —
       emit time − task dispatch time;
     * ``saber_buffer_shed_tuples_total{tenant,query}`` — engine-buffer
-      load shedding under ``drop_oldest`` (callback-sampled gauge).
+      load shedding under ``drop_oldest`` (callback-sampled gauge);
+    * ``saber_accel_tasks_total{tenant}``,
+      ``saber_accel_bytes_total{tenant,direction}``,
+      ``saber_accel_transfer_seconds_total{tenant,kind}``,
+      ``saber_accel_kernel_seconds_total{tenant}`` and
+      ``saber_accel_jit_enabled{tenant}`` — the executable accelerator's
+      per-task accounting (callback-sampled from
+      ``engine.accelerator.stats``; present only when the session runs
+      the ``accelerator``/``hybrid`` backend);
+    * ``saber_hls_matrix_throughput{tenant,query,processor}`` and
+      ``saber_hls_matrix_refreshes_total{tenant}`` — the HLS scheduler's
+      observed throughput matrix C and its refresh count
+      (callback-sampled; present only under the HLS scheduler).
     """
 
     def __init__(self, registry: MetricsRegistry, tenant: str = "default") -> None:
@@ -440,12 +452,80 @@ class SessionInstruments:
             "saber_buffer_shed_tuples_total",
             "Tuples shed at the circular buffers under drop_oldest.",
         )
+        self.accel_tasks = registry.gauge(
+            "saber_accel_tasks_total",
+            "Tasks executed on the accelerator device.",
+        )
+        self.accel_bytes = registry.gauge(
+            "saber_accel_bytes_total",
+            "Bytes moved across the accelerator transfer stage, by direction.",
+        )
+        self.accel_transfer_seconds = registry.gauge(
+            "saber_accel_transfer_seconds_total",
+            "Accelerator host<->device transfer time, measured vs modeled.",
+        )
+        self.accel_kernel_seconds = registry.gauge(
+            "saber_accel_kernel_seconds_total",
+            "Time spent inside accelerator batch kernels.",
+        )
+        self.accel_jit_enabled = registry.gauge(
+            "saber_accel_jit_enabled",
+            "1 when the numba-jitted kernel path is live, 0 on numpy fallback.",
+        )
+        self.hls_matrix_throughput = registry.gauge(
+            "saber_hls_matrix_throughput",
+            "HLS observed throughput matrix C, tasks/s by query and processor.",
+        )
+        self.hls_matrix_refreshes = registry.gauge(
+            "saber_hls_matrix_refreshes_total",
+            "HLS throughput-matrix refresh count this session.",
+        )
+        #: set by :meth:`wire_engine`; :meth:`wire_run` samples the HLS
+        #: matrix through it for queries registered later.
+        self._matrix: Any = None
 
     # -- the attach_metrics protocol -------------------------------------------
 
     def wire_engine(self, engine: Any) -> None:
-        """Install the per-task completion hook (all backends share it)."""
+        """Install the per-task completion hook (all backends share it).
+
+        Also exports the accelerator's cumulative accounting and the HLS
+        scheduler's matrix state as callback-sampled gauges, when this
+        engine has them — the values are read at scrape time, so the
+        device's and scheduler's hot paths pay nothing.
+        """
         engine.measurements.on_task = self._on_task
+        accelerator = getattr(engine, "accelerator", None)
+        if accelerator is not None:
+            stats = accelerator.stats
+            tenant = self.tenant
+            self.accel_tasks.set_function(
+                lambda s=stats: s.snapshot()["tasks"], tenant=tenant
+            )
+            for direction in ("in", "out"):
+                self.accel_bytes.set_function(
+                    lambda s=stats, d=direction: s.snapshot()[f"bytes_{d}"],
+                    tenant=tenant,
+                    direction=direction,
+                )
+            for kind in ("measured", "modeled"):
+                self.accel_transfer_seconds.set_function(
+                    lambda s=stats, k=kind: s.snapshot()[f"transfer_seconds_{k}"],
+                    tenant=tenant,
+                    kind=kind,
+                )
+            self.accel_kernel_seconds.set_function(
+                lambda s=stats: s.snapshot()["kernel_seconds"], tenant=tenant
+            )
+            self.accel_jit_enabled.set(
+                1.0 if accelerator.jit_enabled else 0.0, tenant=tenant
+            )
+        matrix = getattr(getattr(engine, "scheduler", None), "matrix", None)
+        if matrix is not None:
+            self._matrix = matrix
+            self.hls_matrix_refreshes.set_function(
+                lambda m=matrix: float(len(m.history)), tenant=self.tenant
+            )
 
     def wire_run(self, run: Any) -> None:
         """Install dispatcher/result-stage hooks for one registered query."""
@@ -459,6 +539,15 @@ class SessionInstruments:
         self.shed_tuples.set_function(
             lambda d=run.dispatcher: d.shed_tuples, tenant=self.tenant, query=query
         )
+        if self._matrix is not None:
+            # One series per (query, processor) cell of the HLS matrix.
+            for processor in ("CPU", "GPGPU"):
+                self.hls_matrix_throughput.set_function(
+                    lambda m=self._matrix, q=query, p=processor: m.value(q, p),
+                    tenant=self.tenant,
+                    query=query,
+                    processor=processor,
+                )
 
     # -- hot-path hooks ---------------------------------------------------------
 
